@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks of the engine data structures: the
+// backup page stores (the §V-A radix-vs-list ablation at the data-structure
+// level) and the checkpoint harvest itself.
+#include <benchmark/benchmark.h>
+
+#include "blockdev/disk.hpp"
+#include "criu/checkpoint.hpp"
+#include "criu/pagestore.hpp"
+#include "kernel/kernel.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace nlc;
+
+criu::PageRecord make_rec(kern::PageNum p) {
+  criu::PageRecord r;
+  r.page = p;
+  r.version = 1;
+  return r;
+}
+
+/// Inserting one epoch's pages into the radix store after `prior` epochs:
+/// cost must be independent of history.
+void BM_RadixStoreEpoch(benchmark::State& state) {
+  auto prior = static_cast<std::uint64_t>(state.range(0));
+  criu::RadixPageStore store;
+  for (std::uint64_t e = 0; e < prior; ++e) {
+    store.begin_checkpoint(e);
+    for (int p = 0; p < 64; ++p) {
+      store.store(make_rec(static_cast<kern::PageNum>(e * 64 + p)));
+    }
+  }
+  std::uint64_t epoch = prior;
+  for (auto _ : state) {
+    store.begin_checkpoint(epoch++);
+    std::uint64_t visits = 0;
+    for (int p = 0; p < 300; ++p) {
+      visits += store.store(make_rec(static_cast<kern::PageNum>(p)));
+    }
+    benchmark::DoNotOptimize(visits);
+  }
+}
+BENCHMARK(BM_RadixStoreEpoch)->Arg(0)->Arg(100)->Arg(1000);
+
+/// The same insertion through stock CRIU's directory list: cost grows with
+/// the number of prior checkpoints (the paper's bottleneck).
+void BM_ListStoreEpoch(benchmark::State& state) {
+  auto prior = static_cast<std::uint64_t>(state.range(0));
+  criu::ListPageStore store;
+  for (std::uint64_t e = 0; e < prior; ++e) {
+    store.begin_checkpoint(e);
+    for (int p = 0; p < 64; ++p) {
+      store.store(make_rec(static_cast<kern::PageNum>(e * 64 + p)));
+    }
+  }
+  std::uint64_t epoch = prior;
+  for (auto _ : state) {
+    store.begin_checkpoint(epoch++);
+    std::uint64_t visits = 0;
+    for (int p = 0; p < 300; ++p) {
+      visits += store.store(make_rec(static_cast<kern::PageNum>(p)));
+    }
+    benchmark::DoNotOptimize(visits);
+  }
+}
+BENCHMARK(BM_ListStoreEpoch)->Arg(0)->Arg(100)->Arg(1000);
+
+/// Full incremental harvest of a populated container.
+void BM_IncrementalHarvest(benchmark::State& state) {
+  sim::Simulation sim;
+  blk::Disk disk;
+  kern::Kernel kernel(sim, nullptr, "bench", disk);
+  net::Network net(sim);
+  auto host = net.add_host("h", nullptr);
+  net::TcpStack tcp(sim, nullptr, net, host);
+  kern::Container& c = kernel.create_container("bench");
+  kern::Process& p = kernel.create_process(c.id(), "app");
+  auto vma = p.mm().map(static_cast<std::uint64_t>(state.range(0)),
+                        kern::VmaKind::kAnon);
+  criu::CheckpointEngine eng(kernel, tcp);
+  kernel.freeze_container(c.id());
+  std::uint64_t epoch = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    p.mm().clear_soft_dirty();
+    p.mm().touch_range(vma.start, 300);
+    state.ResumeTiming();
+    auto res = eng.harvest(c.id(), epoch++, nullptr, {});
+    benchmark::DoNotOptimize(res.image.pages.size());
+  }
+}
+BENCHMARK(BM_IncrementalHarvest)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

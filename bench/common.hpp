@@ -1,0 +1,78 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper and
+// prints it next to the paper's published numbers. Durations/iterations
+// default to CI-friendly values; set NLC_BENCH_FULL=1 for the paper-scale
+// matrix (more runs, longer windows) or override individual knobs:
+//   NLC_BENCH_RUNS        repetitions per data point
+//   NLC_BENCH_SECONDS     measurement window (server benchmarks)
+//   NLC_BENCH_BATCH_SECS  per-thread CPU quota (batch benchmarks)
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace nlc::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("NLC_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline int env_int(const char* name, int dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : dflt;
+}
+
+inline int runs(int quick_default = 3, int full_default = 10) {
+  return env_int("NLC_BENCH_RUNS", full_mode() ? full_default
+                                               : quick_default);
+}
+
+inline Time measure_seconds(int quick_default = 6, int full_default = 20) {
+  return nlc::seconds(env_int("NLC_BENCH_SECONDS",
+                              full_mode() ? full_default : quick_default));
+}
+
+inline Time batch_seconds(int quick_default = 3, int full_default = 10) {
+  return nlc::seconds(env_int("NLC_BENCH_BATCH_SECS",
+                              full_mode() ? full_default : quick_default));
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Percent with paper comparison: "31.4%  (paper: 31.8%)".
+inline std::string pct_vs(double measured, double paper) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%6.2f%%  (paper: %6.2f%%)",
+                measured * 100.0, paper * 100.0);
+  return buf;
+}
+
+inline std::string ms_vs(double measured_ms, double paper_ms) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%8.2fms  (paper: %8.2fms)", measured_ms,
+                paper_ms);
+  return buf;
+}
+
+}  // namespace nlc::bench

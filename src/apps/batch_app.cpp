@@ -1,0 +1,160 @@
+#include "apps/batch_app.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace nlc::apps {
+
+using namespace nlc::literals;
+
+namespace {
+constexpr const char* kProgressLabel = "[progress]";
+}
+
+BatchApp::BatchApp(AppEnv env, AppSpec spec)
+    : env_(env), spec_(std::move(spec)) {}
+
+void BatchApp::setup(kern::ContainerId cid) {
+  cid_ = cid;
+  all_done_ = std::make_unique<sim::Event>(*env_.sim);
+  kern::Container* cont = env_.kernel->container(cid);
+  NLC_CHECK(cont != nullptr);
+  cont->cpu().set_core_limit(spec_.cores);
+
+  kern::Process& p = env_.kernel->create_process(cid_, spec_.name);
+  int threads = spec_.threads_per_process;
+  NLC_CHECK(threads >= 1);
+  for (int t = 1; t < threads; ++t) env_.kernel->create_thread(p.pid());
+  for (int f = 0; f < spec_.mmap_files; ++f) {
+    env_.kernel->mmap_file(p.pid(), 24,
+                           "/usr/lib/lib" + std::to_string(f) + ".so");
+  }
+  p.mm().map(64, kern::VmaKind::kStack);
+
+  std::uint64_t slice =
+      std::max<std::uint64_t>(1, spec_.mapped_pages /
+                                     static_cast<std::uint64_t>(threads));
+  workers_ = threads;
+  pid_ = p.pid();
+  for (int t = 0; t < threads; ++t) {
+    kern::Vma region = p.mm().map(slice, kern::VmaKind::kAnon, kHeapLabel);
+    regions_.emplace_back(region.start, region.npages);
+  }
+  // One progress page per worker: completed work is recorded in
+  // checkpointed memory so a restored run resumes where the committed
+  // state left off (and validation can audit total work).
+  kern::Vma progress = p.mm().map(static_cast<std::uint64_t>(threads),
+                                  kern::VmaKind::kAnon, kProgressLabel);
+  progress_start_ = progress.start;
+  env_.sim->spawn(env_.kernel->domain(), keepalive_loop());
+}
+
+void BatchApp::start() {
+  start_time_ = env_.sim->now();
+  for (std::size_t t = 0; t < regions_.size(); ++t) {
+    env_.sim->spawn(env_.kernel->domain(),
+                    worker(pid_, regions_[t].first, regions_[t].second,
+                           static_cast<std::uint64_t>(t), 0));
+  }
+}
+
+void BatchApp::attach_existing(kern::ContainerId cid) {
+  cid_ = cid;
+  for (kern::Process* p : env_.kernel->container_processes(cid)) {
+    if (p->comm != spec_.name) continue;
+    pid_ = p->pid();
+    for (const kern::Vma& v : p->mm().vmas()) {
+      if (v.backing_file == kHeapLabel) {
+        regions_.emplace_back(v.start, v.npages);
+      } else if (v.backing_file == kProgressLabel) {
+        progress_start_ = v.start;
+      }
+    }
+  }
+  NLC_CHECK_MSG(pid_ != 0 && progress_start_ != 0,
+                "restored container lacks the batch app layout");
+}
+
+std::unique_ptr<BatchApp> BatchApp::attach_restored(
+    AppEnv backup_env, AppSpec spec, const core::FailoverContext& ctx) {
+  auto app = std::make_unique<BatchApp>(backup_env, std::move(spec));
+  app->all_done_ = std::make_unique<sim::Event>(*backup_env.sim);
+  app->attach_existing(ctx.container);
+  kern::Container* cont = backup_env.kernel->container(ctx.container);
+  NLC_CHECK(cont != nullptr);
+  cont->cpu().set_core_limit(app->spec_.cores);
+  app->workers_ = static_cast<int>(app->regions_.size());
+  app->start_time_ = backup_env.sim->now();
+  kern::Process* p = backup_env.kernel->process(app->pid_);
+  for (std::size_t t = 0; t < app->regions_.size(); ++t) {
+    // Resume from the committed progress (work since the last committed
+    // checkpoint is re-executed, exactly like the paper's restored run).
+    auto rec = p->mm().read(app->progress_start_ + t, 0, 8);
+    Time done = 0;
+    std::memcpy(&done, rec.data(), 8);
+    backup_env.sim->spawn(
+        backup_env.kernel->domain(),
+        app->worker(app->pid_, app->regions_[t].first,
+                    app->regions_[t].second, static_cast<std::uint64_t>(t),
+                    done));
+  }
+  backup_env.sim->spawn(backup_env.kernel->domain(), app->keepalive_loop());
+  return app;
+}
+
+Time BatchApp::recorded_progress() const {
+  kern::Process* p = env_.kernel->process(pid_);
+  if (p == nullptr || progress_start_ == 0) return 0;
+  Time total = 0;
+  for (std::size_t t = 0; t < regions_.size(); ++t) {
+    auto rec = p->mm().read(progress_start_ + t, 0, 8);
+    Time done = 0;
+    std::memcpy(&done, rec.data(), 8);
+    total += done;
+  }
+  return total;
+}
+
+sim::task<> BatchApp::worker(kern::Pid pid, kern::PageNum region_start,
+                             std::uint64_t region_pages, std::uint64_t salt,
+                             Time already_done) {
+  kern::Container* cont = env_.kernel->container(cid_);
+  kern::Process* p = env_.kernel->process(pid);
+  kern::PageNum progress_page = progress_start_ + salt;
+  Time done_work = already_done;
+  std::uint64_t cursor = splitmix64(salt) % region_pages;
+  while (done_work < spec_.batch_cpu_per_thread) {
+    for (std::uint64_t i = 0; i < spec_.pages_per_quantum; ++i) {
+      p->mm().touch(region_start + cursor);
+      cursor = (cursor + 1) % region_pages;
+    }
+    Time q = std::min(spec_.batch_quantum,
+                      spec_.batch_cpu_per_thread - done_work);
+    co_await cont->cpu().consume(
+        static_cast<Time>(static_cast<double>(q) * dilation_));
+    done_work += q;
+    std::vector<std::byte> rec(8);
+    std::memcpy(rec.data(), &done_work, 8);
+    p->mm().write(progress_page, 0, rec);
+  }
+  ++finished_;
+  if (finished_ == workers_) {
+    done_time_ = env_.sim->now();
+    all_done_->set();
+  }
+}
+
+sim::task<> BatchApp::wait_done() { co_await all_done_->wait(); }
+
+sim::task<> BatchApp::keepalive_loop() {
+  kern::Process& ka = env_.kernel->create_process(cid_, "keepalive");
+  ka.mm().map(4, kern::VmaKind::kAnon);
+  kern::Container* cont = env_.kernel->container(cid_);
+  while (true) {
+    co_await env_.sim->sleep_for(30_ms);
+    co_await cont->cpu().consume(nlc::nanoseconds(400));
+  }
+}
+
+}  // namespace nlc::apps

@@ -1,0 +1,80 @@
+// Non-interactive CPU/memory-intensive workload model (streamcluster,
+// swaptions — PARSEC, §VI).
+//
+// Each worker thread streams through its slice of the working set: per
+// quantum it dirties `pages_per_quantum` pages with a wrapping cursor
+// (streaming access, so the per-epoch dirty set is proportional to epoch
+// length) and consumes one CPU quantum. The app finishes when every thread
+// has consumed `batch_cpu_per_thread`; the performance overhead metric is
+// the relative increase of the finish time over the unprotected run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/server_app.hpp"  // AppEnv
+#include "apps/spec.hpp"
+#include "core/backup_agent.hpp"
+#include "kernel/kernel.hpp"
+#include "sim/sync.hpp"
+
+namespace nlc::apps {
+
+class BatchApp {
+ public:
+  BatchApp(AppEnv env, AppSpec spec);
+
+  /// Builds processes/threads/memory and the keep-alive process (workers
+  /// do not run yet).
+  void setup(kern::ContainerId cid);
+
+  /// Spawns the workers; runtime is measured from this instant.
+  void start();
+
+  /// Rebuilds the app around a restored container on the backup after a
+  /// failover: reads each worker's committed progress from its progress
+  /// page and resumes the remaining work. Exercises memory-content
+  /// restoration end to end.
+  static std::unique_ptr<BatchApp> attach_restored(
+      AppEnv backup_env, AppSpec spec, const core::FailoverContext& ctx);
+
+  /// Sum of per-worker completed work as recorded in the (checkpointed)
+  /// progress pages.
+  Time recorded_progress() const;
+
+  /// Completes when all workers finished their work quota.
+  sim::task<> wait_done();
+  bool done() const { return finished_ == workers_; }
+
+  /// Wall-clock lower bound: the per-thread CPU quota (threads run on
+  /// dedicated cores).
+  Time ideal_runtime() const { return spec_.batch_cpu_per_thread; }
+
+  /// Wall time from start() to the last worker finishing.
+  Time runtime() const { return done_time_ - start_time_; }
+
+  void set_dilation(double d) { dilation_ = d; }
+  kern::ContainerId container() const { return cid_; }
+
+ private:
+  sim::task<> worker(kern::Pid pid, kern::PageNum region_start,
+                     std::uint64_t region_pages, std::uint64_t salt,
+                     Time already_done);
+  sim::task<> keepalive_loop();
+  void attach_existing(kern::ContainerId cid);
+
+  AppEnv env_;
+  AppSpec spec_;
+  kern::ContainerId cid_ = kern::kNoContainer;
+  double dilation_ = 1.0;
+  int workers_ = 0;
+  int finished_ = 0;
+  Time start_time_ = 0;
+  Time done_time_ = 0;
+  kern::Pid pid_ = 0;
+  std::vector<std::pair<kern::PageNum, std::uint64_t>> regions_;
+  kern::PageNum progress_start_ = 0;
+  std::unique_ptr<sim::Event> all_done_;
+};
+
+}  // namespace nlc::apps

@@ -1,0 +1,188 @@
+#include "apps/catalog.hpp"
+
+namespace nlc::apps {
+
+using namespace nlc::literals;
+
+AppSpec swaptions_spec() {
+  AppSpec s;
+  s.name = "swaptions";
+  s.interactive = false;
+  s.threads_per_process = 4;
+  s.cores = 4;
+  s.mapped_pages = 2'600;       // small resident set
+  s.mmap_files = 30;
+  s.plain_fds = 6;
+  s.batch_quantum = 5_ms;
+  s.pages_per_quantum = 2;      // 4 thr x 2 x 6 quanta ~ 48 dirty/epoch
+  s.dilation_nilicon = 1.010;   // Fig 3 runtime split
+  s.dilation_mc = 1.042;
+  s.mc_guest_noise_pages = 166; // Table III: 212 vs 46
+  return s;
+}
+
+AppSpec streamcluster_spec() {
+  AppSpec s;
+  s.name = "streamcluster";
+  s.interactive = false;
+  s.threads_per_process = 4;
+  s.cores = 4;
+  s.mapped_pages = 111'000;     // §VII-C: 111K pages at 32 threads; the
+                                // native input keeps ~111K mapped overall
+  s.mmap_files = 35;
+  s.plain_fds = 6;
+  s.batch_quantum = 5_ms;
+  s.pages_per_quantum = 13;     // 4 x 13 x 6 ~ 312 dirty/epoch (~303)
+  s.dilation_nilicon = 1.090;
+  s.dilation_mc = 1.145;
+  s.mc_guest_noise_pages = 159; // 462 vs 303
+  return s;
+}
+
+AppSpec redis_spec() {
+  AppSpec s;
+  s.name = "redis";
+  s.port = 6379;
+  s.processes = 1;
+  s.threads_per_process = 3;    // main + io threads
+  s.cores = 1;                  // single-threaded command loop (Table V: 0.98)
+  s.mapped_pages = 30'000;
+  s.kv_pages = 100'000;         // 100K records, one page each
+  s.mmap_files = 45;
+  s.plain_fds = 10;
+  // One request = a 1K-op pipelined batch (50% reads). Saturation is
+  // wire-bound: ~500 x 1KB GET replies per batch on the 1 GbE client link.
+  s.service_cpu = 2'200_us;
+  s.request_bytes = 50'000;
+  s.response_bytes = 100'000;
+  s.pages_per_request = 60;       // response buffers, dict bookkeeping
+  s.kv_writes_per_request = 420;  // ~500 writes, some key collisions
+  s.saturation_clients = 3;
+  s.client_pipeline = 14;         // pipelined batch stream
+  s.dilation_nilicon = 1.02;
+  s.dilation_mc = 1.04;
+  s.mc_guest_noise_pages = 0;   // 6.2K vs 6.3K: guest noise in the noise
+  return s;
+}
+
+AppSpec ssdb_spec() {
+  AppSpec s;
+  s.name = "ssdb";
+  s.port = 8888;
+  s.processes = 1;
+  s.threads_per_process = 2;
+  s.cores = 2;                  // Table V: ~1.7 cores busy
+  s.mapped_pages = 22'000;
+  s.kv_pages = 100'000;
+  s.mmap_files = 40;
+  s.plain_fds = 14;
+  s.service_cpu = 68_ms;        // batch parse + LSM work (stock: 93 ms
+                                // end-to-end per batch, Table VI)
+  s.request_bytes = 50'000;
+  s.response_bytes = 150'000;
+  s.pages_per_request = 300;
+  s.kv_writes_per_request = 430;
+  s.disk_bytes_per_request = 512 * 1024;  // full persistence
+  s.saturation_clients = 4;
+  s.client_pipeline = 2;
+  s.dilation_nilicon = 1.19;
+  s.dilation_mc = 1.30;
+  s.mc_guest_noise_pages = 517;  // 1107 vs 590
+  return s;
+}
+
+AppSpec node_spec() {
+  AppSpec s;
+  s.name = "node";
+  s.port = 3000;
+  s.processes = 1;
+  s.threads_per_process = 2;    // event loop + worker
+  s.cores = 1;                  // single-threaded event loop (~1.01 busy)
+  s.mapped_pages = 60'000;
+  s.mmap_files = 60;
+  s.plain_fds = 16;
+  s.service_cpu = 2'000_us;     // stock single-client latency 2.4 ms
+  s.request_bytes = 400;
+  s.response_bytes = 42'000;    // generated page with figures
+  s.pages_per_request = 350;
+  s.saturation_clients = 128;   // §VII-C: 128 clients to saturate
+  s.dilation_nilicon = 1.35;
+  s.dilation_mc = 2.70;         // VM exits on a syscall-heavy event loop
+  s.mc_guest_noise_pages = 3'800;
+  return s;
+}
+
+AppSpec lighttpd_spec() {
+  AppSpec s;
+  s.name = "lighttpd";
+  s.port = 80;
+  s.processes = 4;
+  s.threads_per_process = 1;
+  s.cores = 4;                  // ~3.95 busy: CPU-bound watermarking
+  s.mapped_pages = 40'000;
+  s.mmap_files = 38;
+  s.plain_fds = 10;
+  s.service_cpu = 278_ms;       // PHP image watermark (stock 285 ms)
+  s.request_bytes = 300;
+  s.response_bytes = 700'000;   // watermarked image
+  s.pages_per_request = 5'600;
+  s.saturation_clients = 16;
+  s.dilation_nilicon = 1.31;
+  s.dilation_mc = 1.41;
+  s.mc_guest_noise_pages = 1'300;  // 2.9K vs 1.6K
+  return s;
+}
+
+AppSpec djcms_spec() {
+  AppSpec s;
+  s.name = "djcms";
+  s.port = 8000;
+  s.processes = 3;              // nginx, python, mysql
+  s.threads_per_process = 2;
+  s.cores = 2;                  // Table V: ~1.41 cores busy
+  s.mapped_pages = 48'000;
+  s.mmap_files = 70;
+  s.plain_fds = 22;
+  s.service_cpu = 58_ms;        // admin dashboard page (stock 89 ms
+                                // mean over the light/heavy mix)
+  s.request_bytes = 600;
+  s.response_bytes = 120'000;
+  s.pages_per_request = 5'200;
+  s.heavy_request_fraction = 0.25;  // Table IV: highly variable state size
+  s.heavy_factor = 3.0;
+  s.disk_bytes_per_request = 64 * 1024;  // MySQL writes
+  s.saturation_clients = 16;
+  s.dilation_nilicon = 1.35;
+  s.dilation_mc = 1.50;
+  s.mc_guest_noise_pages = 300;
+  return s;
+}
+
+AppSpec netecho_spec() {
+  AppSpec s;
+  s.name = "netecho";
+  s.port = 7;
+  s.processes = 1;
+  s.threads_per_process = 1;
+  s.cores = 2;
+  s.mapped_pages = 1'200;
+  s.kv_pages = 0;
+  s.mmap_files = 12;
+  s.plain_fds = 4;
+  s.service_cpu = 50_us;
+  s.request_bytes = 10;
+  s.response_bytes = 10;
+  s.pages_per_request = 1;
+  s.saturation_clients = 1;
+  s.dilation_nilicon = 1.01;
+  s.dilation_mc = 1.05;
+  s.mc_guest_noise_pages = 60;
+  return s;
+}
+
+std::vector<AppSpec> paper_benchmarks() {
+  return {swaptions_spec(), streamcluster_spec(), redis_spec(), ssdb_spec(),
+          node_spec(),      lighttpd_spec(),      djcms_spec()};
+}
+
+}  // namespace nlc::apps

@@ -1,0 +1,48 @@
+// The paper's benchmark suite (§VI) as AppSpec instances, plus the two
+// §VII-A validation microbenchmarks.
+//
+// Structural parameters (processes, threads, cores, memory, request sizes)
+// come from the paper's setup; dirtying rates are set so per-epoch dirty
+// pages land at Table III; the protection dilation factors are calibrated
+// from Figure 3's runtime/stopped overhead split (see EXPERIMENTS.md for
+// the full derivation).
+#pragma once
+
+#include <vector>
+
+#include "apps/spec.hpp"
+
+namespace nlc::apps {
+
+/// NoSQL in-memory store, batched 1K-op requests, 50/50 read/write,
+/// 100K x 1KB records (YCSB). Wire-bound at saturation (~0.98 cores busy).
+AppSpec redis_spec();
+
+/// NoSQL store with full persistence: every write batch lands on disk
+/// through the page cache, stressing DNC + DRBD.
+AppSpec ssdb_spec();
+
+/// Node.js service: single-threaded event loop, 128 concurrent clients,
+/// database search + large generated responses. Most socket-heavy state.
+AppSpec node_spec();
+
+/// Lighttpd + PHP image watermarking: 4 processes, CPU-heavy requests.
+AppSpec lighttpd_spec();
+
+/// Django CMS (nginx + python + MySQL): 3 processes, bimodal
+/// admin-dashboard requests with database writes.
+AppSpec djcms_spec();
+
+/// PARSEC streamcluster: 4 worker threads, large streamed working set.
+AppSpec streamcluster_spec();
+
+/// PARSEC swaptions: 4 worker threads, small working set.
+AppSpec swaptions_spec();
+
+/// "Net" echo microbenchmark (§VII-B): 10-byte echo.
+AppSpec netecho_spec();
+
+/// All seven paper benchmarks, in the tables' column order.
+std::vector<AppSpec> paper_benchmarks();
+
+}  // namespace nlc::apps

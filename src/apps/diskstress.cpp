@@ -1,0 +1,130 @@
+#include "apps/diskstress.hpp"
+
+#include <cstring>
+
+#include "apps/kv.hpp"
+#include "util/assert.hpp"
+
+namespace nlc::apps {
+
+using namespace nlc::literals;
+
+namespace {
+/// Slot expectation record stored in the table page: occupied flag, value
+/// length, generator seed.
+struct SlotRecord {
+  std::uint8_t occupied = 0;
+  std::uint32_t len = 0;
+  std::uint64_t seed = 0;
+};
+constexpr std::uint32_t kRecordBytes = 16;
+}  // namespace
+
+DiskStressApp::DiskStressApp(AppEnv env, std::uint64_t seed)
+    : env_(env), rng_(seed) {}
+
+void DiskStressApp::setup(kern::ContainerId cid) {
+  cid_ = cid;
+  kern::Container* cont = env_.kernel->container(cid);
+  NLC_CHECK(cont != nullptr);
+  cont->cpu().set_core_limit(2);
+
+  kern::Process& p = env_.kernel->create_process(cid_, "diskstress");
+  pid_ = p.pid();
+  kern::Vma table = p.mm().map(kSlots, kern::VmaKind::kAnon,
+                               kDiskStressTableLabel);
+  table_start_ = table.start;
+  p.mm().map(64, kern::VmaKind::kStack);
+  file_ = env_.kernel->fs().create("/data/diskstress.dat");
+
+  env_.sim->spawn(env_.kernel->domain(), run_loop());
+  // Writeback so the data flows disk-ward through DRBD, not only DNC.
+  env_.sim->spawn(env_.kernel->domain(), [](AppEnv env) -> sim::task<> {
+    while (true) {
+      co_await env.sim->sleep_for(80_ms);
+      env.kernel->fs().writeback(256);
+    }
+  }(env_));
+}
+
+void DiskStressApp::attach_existing(kern::ContainerId cid) {
+  cid_ = cid;
+  for (kern::Process* p : env_.kernel->container_processes(cid)) {
+    for (const kern::Vma& v : p->mm().vmas()) {
+      if (v.backing_file == kDiskStressTableLabel) {
+        pid_ = p->pid();
+        table_start_ = v.start;
+      }
+    }
+  }
+  NLC_CHECK_MSG(pid_ != 0, "restored container lacks the expectation table");
+  file_ = env_.kernel->fs().lookup("/data/diskstress.dat");
+  NLC_CHECK_MSG(file_ != 0, "restored fs lacks the diskstress file");
+}
+
+std::unique_ptr<DiskStressApp> DiskStressApp::attach_restored(
+    AppEnv backup_env, const core::FailoverContext& ctx) {
+  auto app = std::make_unique<DiskStressApp>(backup_env, /*seed=*/0xD15C);
+  app->attach_existing(ctx.container);
+  backup_env.sim->spawn(backup_env.kernel->domain(), app->run_loop());
+  return app;
+}
+
+void DiskStressApp::write_slot(std::uint64_t slot, std::uint64_t seed,
+                               std::uint32_t len) {
+  kern::Process* p = env_.kernel->process(pid_);
+  // The file write and the expectation record update happen in one
+  // synchronous step (no suspension point), so every checkpoint sees them
+  // together — matching a real process whose store instructions cannot be
+  // split by the freezer mid-sequence without also being restored together.
+  auto value = kv_value_bytes(seed, static_cast<std::uint16_t>(len));
+  env_.kernel->fs().write(file_, slot * kSlotBytes, value,
+                          static_cast<std::uint64_t>(env_.sim->now()));
+  std::vector<std::byte> rec(kRecordBytes);
+  rec[0] = std::byte{1};
+  std::memcpy(rec.data() + 4, &len, 4);
+  std::memcpy(rec.data() + 8, &seed, 8);
+  p->mm().write(table_start_ + slot, 0, rec);
+}
+
+bool DiskStressApp::check_slot(std::uint64_t slot) {
+  kern::Process* p = env_.kernel->process(pid_);
+  auto rec = p->mm().read(table_start_ + slot, 0, kRecordBytes);
+  if (rec[0] != std::byte{1}) return true;  // never written
+  std::uint32_t len = 0;
+  std::uint64_t seed = 0;
+  std::memcpy(&len, rec.data() + 4, 4);
+  std::memcpy(&seed, rec.data() + 8, 8);
+  auto disk = env_.kernel->fs().read(file_, slot * kSlotBytes, len);
+  auto expect = kv_value_bytes(seed, static_cast<std::uint16_t>(len));
+  return disk == expect;
+}
+
+std::uint64_t DiskStressApp::verify_all() {
+  std::uint64_t bad = 0;
+  for (std::uint64_t s = 0; s < kSlots; ++s) {
+    if (!check_slot(s)) ++bad;
+  }
+  errors_ += bad;
+  return bad;
+}
+
+sim::task<> DiskStressApp::run_loop() {
+  kern::Container* cont = env_.kernel->container(cid_);
+  while (running_) {
+    auto slot = static_cast<std::uint64_t>(
+        rng_.uniform(0, static_cast<std::int64_t>(kSlots) - 1));
+    if (rng_.chance(0.7)) {
+      auto len = static_cast<std::uint32_t>(rng_.uniform(1, 8192));
+      if (len > kSlotBytes) len = kSlotBytes;
+      write_slot(slot, rng_.next(), len);
+    } else {
+      if (!check_slot(slot)) ++errors_;
+    }
+    ++operations_;
+    co_await cont->cpu().consume(60_us);
+    co_await env_.sim->sleep_for(140_us);
+  }
+}
+
+}  // namespace nlc::apps

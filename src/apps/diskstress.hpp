@@ -1,0 +1,67 @@
+// The first §VII-A validation microbenchmark: stresses the disk, the
+// file-system cache (DNC path) and heap memory together.
+//
+// The app keeps an expectation table in heap *content* pages — one slot per
+// page recording (length, seed) of the last write to that slot's file
+// range — and continuously writes deterministic byte strings of random
+// length (1..8192) to random slots, reading slots back and verifying as it
+// goes. Because both the table (memory checkpoint) and the file data (DNC +
+// DRBD) are checkpointed, a failover to an inconsistent combination of
+// memory/file-cache/disk state is caught by verify_all(): the table and the
+// file must come from the same committed epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "apps/server_app.hpp"  // AppEnv
+#include "core/backup_agent.hpp"
+#include "kernel/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace nlc::apps {
+
+inline constexpr const char* kDiskStressTableLabel = "[expect-table]";
+
+class DiskStressApp {
+ public:
+  DiskStressApp(AppEnv env, std::uint64_t seed);
+
+  /// Builds the process, expectation table and data file, and starts the
+  /// write/read loop.
+  void setup(kern::ContainerId cid);
+
+  /// Rebuilds around a restored container and immediately verifies every
+  /// occupied slot against the restored file system.
+  static std::unique_ptr<DiskStressApp> attach_restored(
+      AppEnv backup_env, const core::FailoverContext& ctx);
+
+  /// Re-reads every occupied slot and compares with the expectation table.
+  /// Returns the number of mismatches (0 = consistent).
+  std::uint64_t verify_all();
+
+  std::uint64_t operations() const { return operations_; }
+  std::uint64_t errors() const { return errors_; }
+  void stop() { running_ = false; }
+
+  static constexpr std::uint64_t kSlots = 256;
+  static constexpr std::uint64_t kSlotBytes = 8192;
+
+ private:
+  sim::task<> run_loop();
+  void write_slot(std::uint64_t slot, std::uint64_t seed, std::uint32_t len);
+  bool check_slot(std::uint64_t slot);
+  void attach_existing(kern::ContainerId cid);
+
+  AppEnv env_;
+  kern::ContainerId cid_ = kern::kNoContainer;
+  kern::Pid pid_ = 0;
+  kern::PageNum table_start_ = 0;
+  kern::InodeNum file_ = 0;
+  Rng rng_;
+  bool running_ = true;
+  std::uint64_t operations_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace nlc::apps

@@ -1,0 +1,74 @@
+// Workload specifications for the paper's benchmarks (§VI).
+//
+// Each spec describes a benchmark's resource profile: process/thread/core
+// topology, memory layout, per-request CPU and state-mutation behaviour,
+// and the calibration constants documented in EXPERIMENTS.md. The specs
+// drive both the app models (src/apps) and the saturation clients
+// (src/clients).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/types.hpp"
+#include "util/time.hpp"
+
+namespace nlc::apps {
+
+struct AppSpec {
+  std::string name;
+  bool interactive = true;  // server app vs non-interactive batch
+
+  // ---- Topology ------------------------------------------------------------
+  int processes = 1;
+  int threads_per_process = 1;  // worker threads beyond the main thread
+  int cores = 4;
+  net::Port port = 80;
+
+  // ---- Memory layout ---------------------------------------------------------
+  std::uint64_t mapped_pages = 25'000;   // anon working set (pagemap scan size)
+  std::uint64_t kv_pages = 0;            // content-carrying KV region (1 page/key)
+  int mmap_files = 40;                   // shared libraries (stat cost, §V)
+  int plain_fds = 12;                    // regular files, pipes, ...
+
+  // ---- Request model (interactive apps) --------------------------------------
+  Time service_cpu = nlc::microseconds(500);  // CPU per request, stock
+  std::uint64_t request_bytes = 200;
+  std::uint64_t response_bytes = 1'000;
+  /// Pages dirtied while serving one request (drawn from the working set,
+  /// spread across the request's CPU quanta).
+  std::uint64_t pages_per_request = 8;
+  /// For KV workloads: writes per batch request (pages dirtied in kv_pages).
+  std::uint64_t kv_writes_per_request = 0;
+  /// Bytes written through the filesystem per request (SSDB persistence,
+  /// DJCMS database updates).
+  std::uint64_t disk_bytes_per_request = 0;
+  /// Fraction of requests that are "heavy": multiply CPU and dirtying by
+  /// heavy_factor (DJCMS's bimodal admin-dashboard requests).
+  double heavy_request_fraction = 0.0;
+  double heavy_factor = 1.0;
+
+  // ---- Batch model (non-interactive apps) -------------------------------------
+  Time batch_cpu_per_thread = 0;            // total work per worker thread
+  Time batch_quantum = nlc::milliseconds(5);
+  std::uint64_t pages_per_quantum = 0;      // streamed dirtying per quantum
+
+  // ---- Protection-mode calibration (EXPERIMENTS.md) ---------------------------
+  /// Service-time dilation while protected: page-fault tracking, cache
+  /// pollution from the agent. Calibrated per benchmark from Figure 3's
+  /// runtime/stopped split.
+  double dilation_nilicon = 1.03;
+  double dilation_mc = 1.10;
+  /// Extra guest-kernel pages dirtied per epoch when the workload runs in
+  /// a VM under MC (guest OS activity the container variant keeps in the
+  /// host kernel). Calibrated from Table III's MC-vs-NiLiCon dirty pages.
+  std::uint64_t mc_guest_noise_pages = 150;
+
+  // ---- Client shape (used by the harness) -------------------------------------
+  int saturation_clients = 8;
+  /// Outstanding requests per connection (the YCSB batcher streams
+  /// pipelined batches; web clients are strict closed-loop).
+  int client_pipeline = 1;
+};
+
+}  // namespace nlc::apps

@@ -1,0 +1,53 @@
+// Simulated local block device.
+//
+// Stores real block contents (keyed by inode + page index, the granularity
+// the simulated filesystem writes at) so disk-state consistency after a
+// failover is checkable byte-for-byte. Latency is charged per operation by
+// the callers that model synchronous I/O; the store itself is a plain map
+// because writeback happens inside already-timed coroutines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "kernel/fs.hpp"
+
+namespace nlc::blk {
+
+class Disk : public kern::BlockStore {
+ public:
+  void write_block(kern::InodeNum ino, std::uint64_t page,
+                   std::span<const std::byte> data) override {
+    blocks_[{ino, page}].assign(data.begin(), data.end());
+    ++writes_;
+    bytes_written_ += data.size();
+  }
+
+  std::optional<std::vector<std::byte>> read_block(
+      kern::InodeNum ino, std::uint64_t page) const override {
+    auto it = blocks_.find({ino, page});
+    if (it == blocks_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint64_t block_count() const { return blocks_.size(); }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Content equality with another disk (tests: primary vs backup after
+  /// commit).
+  bool same_content(const Disk& other) const {
+    return blocks_ == other.blocks_;
+  }
+
+ private:
+  std::map<std::pair<kern::InodeNum, std::uint64_t>, std::vector<std::byte>>
+      blocks_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace nlc::blk

@@ -1,0 +1,168 @@
+#include "clients/closed_loop.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace nlc::clients {
+
+using apps::KvOp;
+using apps::KvOpType;
+
+ClosedLoopClient::ClosedLoopClient(sim::Simulation& s, sim::DomainPtr domain,
+                                   net::TcpStack& tcp, ClientConfig cfg,
+                                   std::uint64_t seed)
+    : sim_(&s), domain_(std::move(domain)), tcp_(&tcp), cfg_(cfg),
+      rng_(seed), connected_(std::make_unique<sim::WaitGroup>(s)) {}
+
+void ClosedLoopClient::start() {
+  connected_->add(cfg_.connections);
+  for (int i = 0; i < cfg_.connections; ++i) {
+    sim_->spawn(domain_, connection(i));
+  }
+}
+
+sim::task<> ClosedLoopClient::wait_connected() {
+  co_await connected_->wait();
+}
+
+double ClosedLoopClient::throughput(Time from, Time to) const {
+  NLC_CHECK(to > from);
+  std::uint64_t n = 0;
+  for (const auto& [sent, lat] : trace_) {
+    Time done = sent + lat;
+    if (done >= from && done < to) ++n;
+  }
+  return static_cast<double>(n) / to_seconds(to - from);
+}
+
+void ClosedLoopClient::verify_reply(const net::Segment& reply,
+                                    const Pending& p) {
+  if (!cfg_.kv_mode) return;
+  if (reply.payload == nullptr) {
+    ++kv_errors_;
+    return;
+  }
+  std::vector<KvOp> replies = apps::kv_decode(*reply.payload);
+  if (replies.size() != p.expected.size()) {
+    ++kv_errors_;
+    return;
+  }
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    const KvOp& want = p.expected[i];
+    const KvOp& got = replies[i];
+    if (want.op != KvOpType::kGet) continue;
+    if (got.found != want.found) {
+      ++kv_errors_;
+      continue;
+    }
+    if (!want.found) continue;
+    auto expect_bytes = apps::kv_value_bytes(want.seed, want.len);
+    std::uint64_t expect_hash =
+        apps::kv_content_hash(expect_bytes.data(), expect_bytes.size());
+    if (got.reply_seed != expect_hash || got.len != want.len) {
+      ++kv_errors_;
+    }
+  }
+}
+
+sim::task<> ClosedLoopClient::connection(int index) {
+  Rng rng = rng_.split(static_cast<std::uint64_t>(index));
+  net::SocketId sock =
+      co_await tcp_->connect(cfg_.local_ip, {cfg_.server_ip, cfg_.port});
+  if (sock == 0) {
+    ++broken_;
+    connected_->done();
+    co_return;
+  }
+  connected_->done();
+
+  // Per-connection expectation map: key -> (seed, len) of the last SET
+  // composed on this connection (disjoint key ranges per connection, and
+  // requests are processed in order, so compose-time expectations hold).
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint16_t>> expect;
+  std::uint32_t key_base =
+      static_cast<std::uint32_t>(index) * cfg_.keys_per_connection;
+  std::deque<Pending> outstanding;
+
+  auto compose_and_send = [&] {
+    Pending p;
+    p.tag = next_tag_++;
+    p.sent_at = sim_->now();
+    std::shared_ptr<std::vector<std::byte>> payload;
+    std::uint64_t req_len = cfg_.request_bytes;
+    if (cfg_.kv_mode) {
+      std::vector<KvOp> ops;
+      for (int i = 0; i < cfg_.kv_ops_per_request; ++i) {
+        KvOp op;
+        op.key = key_base + static_cast<std::uint32_t>(rng.uniform(
+                                0, cfg_.keys_per_connection - 1));
+        if (rng.chance(cfg_.set_fraction)) {
+          op.op = KvOpType::kSet;
+          op.seed = rng.next();
+          op.len = cfg_.value_len;
+          expect[op.key] = {op.seed, op.len};
+        } else {
+          op.op = KvOpType::kGet;
+        }
+        ops.push_back(op);
+        KvOp snap = op;
+        if (op.op == KvOpType::kGet) {
+          auto it = expect.find(op.key);
+          if (it != expect.end()) {
+            snap.found = true;
+            snap.seed = it->second.first;
+            snap.len = it->second.second;
+          } else {
+            snap.found = false;
+          }
+        }
+        p.expected.push_back(snap);
+      }
+      payload = apps::kv_encode(ops);
+      req_len = payload->size();
+    }
+    tcp_->send(sock, static_cast<std::uint32_t>(req_len), p.tag, payload);
+    outstanding.push_back(std::move(p));
+  };
+
+  while (running_) {
+    while (running_ &&
+           outstanding.size() < static_cast<std::size_t>(cfg_.pipeline)) {
+      compose_and_send();
+    }
+    auto reply = co_await tcp_->recv(sock);
+    if (!reply.has_value()) {
+      ++broken_;
+      co_return;
+    }
+    NLC_CHECK(!outstanding.empty());
+    Pending p = std::move(outstanding.front());
+    outstanding.pop_front();
+    if (reply->tag != p.tag) {
+      ++protocol_errors_;
+      continue;
+    }
+    Time lat = sim_->now() - p.sent_at;
+    latencies_.add(to_millis(lat));
+    trace_.emplace_back(p.sent_at, lat);
+    ++completed_;
+    verify_reply(*reply, p);
+    if (cfg_.think_time > 0) co_await sim_->sleep_for(cfg_.think_time);
+  }
+  // Drain whatever is still in flight so latency accounting stays sane.
+  while (!outstanding.empty()) {
+    auto reply = co_await tcp_->recv(sock);
+    if (!reply.has_value()) break;
+    Pending p = std::move(outstanding.front());
+    outstanding.pop_front();
+    if (reply->tag != p.tag) continue;
+    Time lat = sim_->now() - p.sent_at;
+    latencies_.add(to_millis(lat));
+    trace_.emplace_back(p.sent_at, lat);
+    ++completed_;
+    verify_reply(*reply, p);
+  }
+}
+
+}  // namespace nlc::clients

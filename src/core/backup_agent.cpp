@@ -1,0 +1,208 @@
+#include "core/backup_agent.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nlc::core {
+
+BackupAgent::BackupAgent(Options opts, kern::Kernel& kernel,
+                         net::TcpStack& tcp, blk::DrbdBackup& drbd,
+                         StateChannel& state_in, AckChannel& ack_out,
+                         HeartbeatChannel& hb_in,
+                         ReplicationMetrics& metrics)
+    : opts_(opts), kernel_(&kernel), tcp_(&tcp), drbd_(&drbd),
+      state_in_(&state_in), ack_out_(&ack_out), hb_in_(&hb_in),
+      metrics_(&metrics),
+      commit_idle_(std::make_unique<sim::Event>(kernel.simulation())) {
+  if (opts_.optimize_criu) {
+    pages_ = std::make_unique<criu::RadixPageStore>();
+  } else {
+    pages_ = std::make_unique<criu::ListPageStore>();
+  }
+  commit_idle_->set();
+}
+
+void BackupAgent::start() {
+  sim::Simulation& sim = kernel_->simulation();
+  last_heartbeat_ = sim.now();
+  armed_ = true;
+  sim.spawn(kernel_->domain(), state_loop());
+  sim.spawn(kernel_->domain(), drbd_->run());
+  sim.spawn(kernel_->domain(), watchdog());
+  // Heartbeat receiver: just tracks arrival times.
+  sim.spawn(kernel_->domain(), [](BackupAgent* self) -> sim::task<> {
+    while (true) {
+      (void)co_await self->hb_in_->recv();
+      self->last_heartbeat_ = self->kernel_->simulation().now();
+      ++self->heartbeats_seen_;
+    }
+  }(this));
+}
+
+void BackupAgent::disarm() { armed_ = false; }
+
+sim::task<> BackupAgent::state_loop() {
+  sim::Simulation& sim = kernel_->simulation();
+  while (true) {
+    EpochStateMsg msg = co_await state_in_->recv();
+
+    // Receive-side processing: read() per chunk into the staging buffers.
+    Time recv_cost = nlc::microseconds(1200) +
+                     static_cast<Time>(chunk_count(msg.image)) *
+                         backup_costs_.read_per_chunk;
+    co_await sim.sleep_for(recv_cost);
+    metrics_->backup_busy += recv_cost;
+
+    // The epoch is durable at the backup once all its disk writes (up to
+    // the barrier) and its container state are buffered here: acknowledge,
+    // letting the primary release the epoch's buffered output (§IV).
+    co_await drbd_->wait_barrier(msg.epoch);
+    ack_out_->send(AckMsg{msg.epoch}, 64);
+
+    // Commit: fold the epoch into the committed stores.
+    commit_in_progress_ = true;
+    commit_idle_->reset();
+    pages_->begin_checkpoint(msg.epoch);
+    std::uint64_t visits = 0;
+    for (const criu::PageRecord& pr : msg.image.pages) {
+      visits += pages_->store(pr);
+    }
+    Time commit_cost =
+        static_cast<Time>(visits) * backup_costs_.pagestore_per_visit +
+        static_cast<Time>(msg.image.pages.size()) *
+            backup_costs_.commit_per_page;
+    co_await sim.sleep_for(commit_cost);
+    metrics_->backup_busy += commit_cost;
+
+    drbd_->commit(msg.epoch);
+    for (const kern::DncInodeEntry& ie : msg.image.fs_cache.inodes) {
+      committed_fs_inodes_[ie.attr.ino] = ie.attr;
+    }
+    for (kern::DncPageEntry& pe : msg.image.fs_cache.pages) {
+      committed_fs_pages_[{pe.ino, pe.page_index}] = std::move(pe);
+    }
+    msg.image.pages.clear();     // folded into the page store
+    msg.image.fs_cache = {};     // folded into the fs-cache maps
+    committed_image_ = std::move(msg.image);
+    committed_epoch_ = msg.epoch;
+    commit_in_progress_ = false;
+    commit_idle_->set();
+  }
+}
+
+sim::task<> BackupAgent::watchdog() {
+  sim::Simulation& sim = kernel_->simulation();
+  int misses = 0;
+  std::uint64_t seen_at_last_tick = 0;
+  while (true) {
+    co_await sim.sleep_for(opts_.heartbeat_interval);
+    if (!armed_) continue;
+    // A 30ms interval with no new heartbeat counts as a miss (§IV).
+    if (heartbeats_seen_ == seen_at_last_tick) {
+      ++misses;
+    } else {
+      misses = 0;
+    }
+    seen_at_last_tick = heartbeats_seen_;
+    if (misses >= opts_.heartbeat_miss_threshold) {
+      armed_ = false;
+      recovery_.detection_started = sim.now();
+      recovery_.detection_latency = sim.now() - last_heartbeat_;
+      co_await recover();
+      co_return;
+    }
+  }
+}
+
+void BackupAgent::trigger_recovery() {
+  NLC_CHECK_MSG(!recovered_, "already recovered");
+  armed_ = false;
+  sim::Simulation& sim = kernel_->simulation();
+  recovery_.detection_started = sim.now();
+  recovery_.detection_latency = 0;
+  sim.spawn(kernel_->domain(), recover());
+}
+
+criu::CheckpointImage BackupAgent::build_restore_image() const {
+  NLC_CHECK_MSG(committed_image_.has_value(),
+                "failover before the initial synchronization committed");
+  criu::CheckpointImage img = *committed_image_;
+  img.fs_cache.inodes.clear();
+  img.fs_cache.pages.clear();
+  return img;
+}
+
+sim::task<> BackupAgent::recover() {
+  sim::Simulation& sim = kernel_->simulation();
+  criu::KernelInterfaceCosts costs;  // restore-side cost model
+  Time t0 = sim.now();
+
+  // Never restore from a half-committed epoch: wait out an in-flight
+  // commit (its state fully arrived and was acknowledged, so it belongs in
+  // the restored image).
+  co_await commit_idle_->wait();
+
+  // Uncommitted buffered state dies with the primary (§IV).
+  drbd_->discard_uncommitted();
+
+  criu::CheckpointImage img = build_restore_image();
+  auto service_ip = static_cast<net::IpAddr>(img.service_ip);
+
+  // Connect the container's address to this host but keep ingress blocked:
+  // the §III RST hazard window is open from netns creation until the
+  // sockets are repaired.
+  tcp_->add_address(service_ip);
+  // Blocking uses the same buffer-and-release mechanism as the epoch pause
+  // (§V-C): packets arriving during the restore are held and delivered once
+  // the sockets exist, so clients pay no retransmission backoff on top of
+  // the restore itself.
+  tcp_->ingress(service_ip).set_mode(
+      opts_.block_input_during_recovery ? net::IngressFilter::Mode::kBuffer
+                                        : net::IngressFilter::Mode::kPass);
+
+  // Materialize CRIU image files from the buffered state.
+  double mb = static_cast<double>(img.byte_size() +
+                                  pages_->page_count() * nlc::kPageSize) /
+              static_cast<double>(nlc::kMiB);
+  co_await sim.sleep_for(costs.image_build_base +
+                         static_cast<Time>(mb * static_cast<double>(
+                                                    costs.image_build_per_mb)));
+
+  kern::DncHarvest fs;
+  for (const auto& [ino, attr] : committed_fs_inodes_) {
+    fs.inodes.push_back(kern::DncInodeEntry{attr});
+  }
+  for (const auto& [key, pe] : committed_fs_pages_) {
+    fs.pages.push_back(pe);
+  }
+
+  criu::RestoreEngine engine(*kernel_, *tcp_, costs);
+  criu::RestoreTimeline tl = co_await engine.restore(
+      img, pages_->all_pages(), fs, opts_.rto_repair_fix);
+
+  // Residual recovery actions (Table II "Others").
+  co_await sim.sleep_for(costs.recovery_misc);
+
+  // Reconnect to the bridge: gratuitous ARP moves the service address.
+  co_await sim.sleep_for(costs.gratuitous_arp);
+  tcp_->takeover_address(service_ip);
+  tcp_->ingress(service_ip).set_mode(net::IngressFilter::Mode::kPass);
+
+  recovery_.triggered = true;
+  recovery_.restore_time = tl.finished - t0;
+  recovery_.arp_time = costs.gratuitous_arp;
+  recovery_.misc_time = costs.recovery_misc;
+  recovery_.total_unavailability = sim.now() - t0;
+  recovery_.pages_restored = tl.pages_restored;
+  recovery_.sockets_restored = tl.sockets_restored;
+  recovery_.committed_epoch = committed_epoch_;
+  recovered_ = true;
+
+  if (on_restored_) {
+    on_restored_(FailoverContext{kernel_, tcp_, img.container,
+                                 committed_epoch_});
+  }
+}
+
+}  // namespace nlc::core

@@ -1,0 +1,98 @@
+// The NiLiCon backup agent (§III, §IV): receives epoch state, buffers it,
+// acknowledges, commits — and on primary failure, materializes images and
+// restores the container.
+//
+// Unlike Remus, the backup never runs a warm container: applying in-kernel
+// state requires too many syscalls per epoch. Instead the committed state
+// lives in buffers (page store, latest record image, accumulated fs-cache
+// delta, DRBD write buffer) and is applied only at failover.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "blockdev/drbd.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "core/protocol.hpp"
+#include "criu/pagestore.hpp"
+#include "criu/restore.hpp"
+#include "kernel/kernel.hpp"
+#include "net/tcp.hpp"
+#include "sim/sync.hpp"
+
+namespace nlc::core {
+
+/// Passed to the application-level failover hook after restore: the app
+/// framework re-attaches its service loops to the restored kernel objects
+/// (the simulation analogue of the restored processes resuming execution).
+struct FailoverContext {
+  kern::Kernel* kernel;
+  net::TcpStack* tcp;
+  kern::ContainerId container;
+  std::uint64_t committed_epoch;
+};
+
+class BackupAgent {
+ public:
+  BackupAgent(Options opts, kern::Kernel& kernel, net::TcpStack& tcp,
+              blk::DrbdBackup& drbd, StateChannel& state_in,
+              AckChannel& ack_out, HeartbeatChannel& hb_in,
+              ReplicationMetrics& metrics);
+
+  /// Spawns the state receiver, the DRBD receiver, and the heartbeat
+  /// watchdog under the backup host's domain.
+  void start();
+
+  /// Application-level post-restore hook.
+  void set_on_restored(std::function<void(const FailoverContext&)> fn) {
+    on_restored_ = std::move(fn);
+  }
+
+  /// Disables the watchdog (used while tearing an experiment down).
+  void disarm();
+
+  /// Forces recovery now (tests / manual failover).
+  void trigger_recovery();
+
+  std::uint64_t committed_epoch() const { return committed_epoch_; }
+  bool recovered() const { return recovered_; }
+  const RecoveryMetrics& recovery_metrics() const { return recovery_; }
+  const criu::PageStore& page_store() const { return *pages_; }
+
+ private:
+  sim::task<> state_loop();
+  sim::task<> watchdog();
+  sim::task<> recover();
+  criu::CheckpointImage build_restore_image() const;
+
+  Options opts_;
+  kern::Kernel* kernel_;
+  net::TcpStack* tcp_;
+  blk::DrbdBackup* drbd_;
+  StateChannel* state_in_;
+  AckChannel* ack_out_;
+  HeartbeatChannel* hb_in_;
+  ReplicationMetrics* metrics_;
+  std::function<void(const FailoverContext&)> on_restored_;
+
+  std::unique_ptr<criu::PageStore> pages_;
+  std::optional<criu::CheckpointImage> committed_image_;  // latest records
+  std::map<std::pair<kern::InodeNum, std::uint64_t>, kern::DncPageEntry>
+      committed_fs_pages_;
+  std::map<kern::InodeNum, kern::InodeAttr> committed_fs_inodes_;
+  std::uint64_t committed_epoch_ = 0;
+
+  Time last_heartbeat_ = 0;
+  std::uint64_t heartbeats_seen_ = 0;
+  bool armed_ = false;
+  bool recovered_ = false;
+  bool commit_in_progress_ = false;
+  std::unique_ptr<sim::Event> commit_idle_;
+  RecoveryMetrics recovery_;
+  criu::BackupCosts backup_costs_;
+};
+
+}  // namespace nlc::core

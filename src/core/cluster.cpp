@@ -1,0 +1,100 @@
+#include "core/cluster.hpp"
+
+#include "util/assert.hpp"
+
+namespace nlc::core {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : client_domain(std::make_shared<sim::Domain>("client")),
+      primary_domain(std::make_shared<sim::Domain>("primary")),
+      backup_domain(std::make_shared<sim::Domain>("backup")),
+      network(sim),
+      client_host(network.add_host("client", client_domain)),
+      primary_host(network.add_host("primary", primary_domain)),
+      backup_host(network.add_host("backup", backup_domain)),
+      client_tcp(sim, client_domain, network, client_host),
+      primary_tcp(sim, primary_domain, network, primary_host),
+      backup_tcp(sim, backup_domain, network, backup_host) {
+  network.add_link(client_host, primary_host, cfg.client_link_bps,
+                   cfg.client_link_latency);
+  network.add_link(client_host, backup_host, cfg.client_link_bps,
+                   cfg.client_link_latency);
+  network.add_link(primary_host, backup_host, cfg.replication_link_bps,
+                   cfg.replication_link_latency);
+
+  client_tcp.add_address(kClientIp);
+  primary_tcp.add_address(kPrimaryHostIp);
+  backup_tcp.add_address(kBackupHostIp);
+
+  net::Link* p2b = network.link_between(primary_host, backup_host);
+  net::Link* b2p = network.link_between(backup_host, primary_host);
+  NLC_CHECK(p2b != nullptr && b2p != nullptr);
+
+  drbd_channel = std::make_unique<net::Channel<blk::DrbdMessage>>(
+      sim, *p2b, backup_domain);
+  drbd_primary =
+      std::make_unique<blk::DrbdPrimary>(primary_disk, *drbd_channel);
+  drbd_backup =
+      std::make_unique<blk::DrbdBackup>(sim, backup_disk, *drbd_channel);
+
+  // The primary kernel's filesystem writes through the replicated block
+  // device; the backup kernel mounts the backup disk directly.
+  primary_kernel = std::make_unique<kern::Kernel>(sim, primary_domain,
+                                                  "primary", *drbd_primary);
+  backup_kernel = std::make_unique<kern::Kernel>(sim, backup_domain,
+                                                 "backup", backup_disk);
+
+  state_channel = std::make_unique<StateChannel>(sim, *p2b, backup_domain);
+  ack_channel = std::make_unique<AckChannel>(sim, *b2p, primary_domain);
+  control_link = std::make_unique<net::Link>(sim, cfg.control_link_bps,
+                                             cfg.control_link_latency);
+  heartbeat_channel = std::make_unique<HeartbeatChannel>(
+      sim, *control_link, backup_domain);
+}
+
+Cluster::~Cluster() {
+  // Destroy suspended coroutine frames while every component they
+  // reference is still alive.
+  sim.shutdown();
+}
+
+kern::Container& Cluster::create_service_container(const std::string& name,
+                                                   net::IpAddr service_ip) {
+  kern::Container& c = primary_kernel->create_container(name);
+  c.set_service_ip(service_ip);
+  primary_tcp.add_address(service_ip);
+  return c;
+}
+
+sim::task<> Cluster::protect(kern::ContainerId cid, const Options& opts) {
+  NLC_CHECK_MSG(primary_agent == nullptr, "cluster already protecting");
+  primary_agent = std::make_unique<PrimaryAgent>(
+      opts, *primary_kernel, primary_tcp, cid, *drbd_primary, *state_channel,
+      *ack_channel, *heartbeat_channel, metrics);
+  backup_agent = std::make_unique<BackupAgent>(
+      opts, *backup_kernel, backup_tcp, *drbd_backup, *state_channel,
+      *ack_channel, *heartbeat_channel, metrics);
+  backup_agent->start();
+  co_await primary_agent->start();
+}
+
+void Cluster::unplug_primary() {
+  // Both directions of every primary link, plus the management NIC.
+  for (net::HostId peer : {client_host, backup_host}) {
+    if (net::Link* l = network.link_between(primary_host, peer)) {
+      l->set_down(true);
+    }
+    if (net::Link* l = network.link_between(peer, primary_host)) {
+      l->set_down(true);
+    }
+  }
+  control_link->set_down(true);
+}
+
+net::Link& Cluster::replication_link() {
+  net::Link* l = network.link_between(primary_host, backup_host);
+  NLC_CHECK(l != nullptr);
+  return *l;
+}
+
+}  // namespace nlc::core

@@ -1,0 +1,110 @@
+// Cluster: the paper's testbed in one object (§VI).
+//
+// Three hosts — client, primary, backup — with 1 GbE links from the client
+// to each server host and a dedicated 10 GbE replication link between the
+// servers. Owns the kernels, disks, DRBD pair, TCP stacks and the
+// replication channels; protect() instantiates the NiLiCon agent pair for a
+// container.
+//
+// This is the main entry point of the library: build a Cluster, create a
+// container + workload on the primary kernel, call protect(), run the
+// simulation.
+#pragma once
+
+#include <memory>
+
+#include "blockdev/disk.hpp"
+#include "blockdev/drbd.hpp"
+#include "core/backup_agent.hpp"
+#include "core/options.hpp"
+#include "core/primary_agent.hpp"
+#include "kernel/kernel.hpp"
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "sim/simulation.hpp"
+
+namespace nlc::core {
+
+/// Default addresses of the testbed.
+inline constexpr net::IpAddr kClientIp = 0x0A00'0001;
+inline constexpr net::IpAddr kPrimaryHostIp = 0x0A00'0002;
+inline constexpr net::IpAddr kBackupHostIp = 0x0A00'0003;
+inline constexpr net::IpAddr kServiceIp = 0x0A00'00FE;
+
+struct ClusterConfig {
+  double client_link_bps = 1e9;        // 1 GbE to the client host
+  Time client_link_latency = nlc::microseconds(100);
+  double replication_link_bps = 10e9;  // dedicated 10 GbE
+  Time replication_link_latency = nlc::microseconds(20);
+  /// Management network (the hosts' 1 GbE NICs) used for the failure
+  /// detector's heartbeats, so bulk state transfers cannot starve them —
+  /// on real hardware TCP fair-sharing provides the same isolation, which
+  /// a FIFO link model does not.
+  double control_link_bps = 1e9;
+  Time control_link_latency = nlc::microseconds(100);
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Simulation must outlive (and be torn down before) everything below.
+  sim::Simulation sim;
+
+  sim::DomainPtr client_domain;
+  sim::DomainPtr primary_domain;
+  sim::DomainPtr backup_domain;
+
+  net::Network network;
+  net::HostId client_host;
+  net::HostId primary_host;
+  net::HostId backup_host;
+
+  net::TcpStack client_tcp;
+  net::TcpStack primary_tcp;
+  net::TcpStack backup_tcp;
+
+  blk::Disk primary_disk;
+  blk::Disk backup_disk;
+  std::unique_ptr<net::Channel<blk::DrbdMessage>> drbd_channel;
+  std::unique_ptr<blk::DrbdPrimary> drbd_primary;
+  std::unique_ptr<blk::DrbdBackup> drbd_backup;
+
+  std::unique_ptr<kern::Kernel> primary_kernel;
+  std::unique_ptr<kern::Kernel> backup_kernel;
+
+  std::unique_ptr<net::Link> control_link;
+  std::unique_ptr<StateChannel> state_channel;
+  std::unique_ptr<AckChannel> ack_channel;
+  std::unique_ptr<HeartbeatChannel> heartbeat_channel;
+
+  ReplicationMetrics metrics;
+  std::unique_ptr<PrimaryAgent> primary_agent;
+  std::unique_ptr<BackupAgent> backup_agent;
+
+  /// Creates a container on the primary with the service address bound and
+  /// its egress/ingress plumbing in place.
+  kern::Container& create_service_container(const std::string& name,
+                                            net::IpAddr service_ip
+                                            = kServiceIp);
+
+  /// Builds the agent pair for `cid` and runs the initial synchronization.
+  /// Awaitable; afterwards the container is protected.
+  sim::task<> protect(kern::ContainerId cid, const Options& opts);
+
+  /// Fail-stop crash of the primary host (§VII-A fault injection).
+  void fail_primary() { primary_domain->kill(); }
+
+  /// The paper's manual test: unplug every network cable of the primary
+  /// (§VII-A). The primary stays alive but can neither replicate nor talk
+  /// to clients; output commit guarantees its unreleased responses never
+  /// escaped, so the backup's takeover is still consistent.
+  void unplug_primary();
+
+  net::Link& replication_link();
+};
+
+}  // namespace nlc::core

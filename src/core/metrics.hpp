@@ -1,0 +1,55 @@
+// Measurement collectors for the evaluation harness (Tables III-V).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace nlc::core {
+
+struct ReplicationMetrics {
+  /// Per-epoch container stop time (Table III / IV).
+  Samples stop_time_ms;
+  /// Per-epoch transferred state size in bytes (Table IV).
+  Samples state_bytes;
+  /// Per-epoch dirty page count (Table III).
+  Samples dirty_pages;
+  /// Per-epoch time from pause begin to buffered-output release
+  /// (checkpoint commit latency; bounds added response delay).
+  Samples commit_latency_ms;
+
+  std::uint64_t epochs_completed = 0;
+  std::uint64_t bytes_shipped = 0;
+
+  /// Simulated CPU time the backup agent spent processing state (Table V).
+  Time backup_busy = 0;
+  /// Simulated CPU time the primary agent spent outside the container
+  /// (harvest, bookkeeping).
+  Time primary_agent_busy = 0;
+
+  void record_epoch(Time stop, std::uint64_t bytes, std::uint64_t dpages,
+                    Time commit_latency) {
+    stop_time_ms.add(to_millis(stop));
+    state_bytes.add(static_cast<double>(bytes));
+    dirty_pages.add(static_cast<double>(dpages));
+    commit_latency_ms.add(to_millis(commit_latency));
+    ++epochs_completed;
+    bytes_shipped += bytes;
+  }
+};
+
+struct RecoveryMetrics {
+  bool triggered = false;
+  Time detection_started = 0;   // primary declared dead
+  Time detection_latency = 0;   // silence until declaration
+  Time restore_time = 0;        // image build + restore engine
+  Time arp_time = 0;
+  Time misc_time = 0;
+  Time total_unavailability = 0;  // as seen by the recovery driver
+  std::uint64_t pages_restored = 0;
+  std::uint64_t sockets_restored = 0;
+  std::uint64_t committed_epoch = 0;
+};
+
+}  // namespace nlc::core

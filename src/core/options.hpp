@@ -1,0 +1,75 @@
+// NiLiCon configuration: epoch timing, failure detection, and one flag per
+// optimization so Table I's ablation runs real alternative code paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace nlc::core {
+
+struct Options {
+  /// Execution-phase length per epoch (paper: 30 ms).
+  Time epoch_length = nlc::milliseconds(30);
+
+  // ---- Table I optimizations (cumulative rows) ----------------------------
+  /// §V-A: radix-tree page store on the backup, polling freezer instead of
+  /// the 100 ms sleep, and direct agent-to-agent transfer (no proxies).
+  bool optimize_criu = true;
+  /// §V-B: cache infrequently-modified in-kernel state, invalidated via
+  /// ftrace hooks.
+  bool cache_infrequent_state = true;
+  /// §V-C: block network input by buffering (sch_plug) instead of firewall
+  /// drops.
+  bool plug_input_blocking = true;
+  /// §V-D(1): VMA discovery via the task-diag netlink patch.
+  bool vma_via_netlink = true;
+  /// §V-D(2): copy dirty pages to a local staging buffer and resume the
+  /// container before shipping them.
+  bool staging_buffer = true;
+  /// §V-D(3): parasite hands pages over shared memory instead of a pipe.
+  bool pages_via_shared_memory = true;
+
+  // ---- Other mechanisms ----------------------------------------------------
+  /// §V-E: clamp the repaired-socket retransmission timeout to 200 ms.
+  bool rto_repair_fix = true;
+  /// §III: harvest the fs cache via DNC/fgetfc (false = flush-to-NAS
+  /// ablation).
+  bool fs_cache_via_dnc = true;
+  /// §III/§IV: keep ingress blocked during recovery until sockets exist.
+  bool block_input_during_recovery = true;
+
+  // ---- Failure detection (§IV) ---------------------------------------------
+  Time heartbeat_interval = nlc::milliseconds(30);
+  int heartbeat_miss_threshold = 3;
+
+  std::uint64_t seed = 1;
+
+  /// The seven cumulative configurations of Table I, row index 0..6.
+  static Options table1_row(int row) {
+    Options o;
+    o.optimize_criu = row >= 1;
+    o.cache_infrequent_state = row >= 2;
+    o.plug_input_blocking = row >= 3;
+    o.vma_via_netlink = row >= 4;
+    o.staging_buffer = row >= 5;
+    o.pages_via_shared_memory = row >= 6;
+    return o;
+  }
+
+  static const char* table1_row_name(int row) {
+    switch (row) {
+      case 0: return "Basic implementation";
+      case 1: return "+ Optimize CRIU";
+      case 2: return "+ Cache infrequently-modified state";
+      case 3: return "+ Optimize blocking network input";
+      case 4: return "+ Obtain VMAs from netlink";
+      case 5: return "+ Add memory staging buffer";
+      case 6: return "+ Transfer dirty pages via shared memory";
+    }
+    return "?";
+  }
+};
+
+}  // namespace nlc::core

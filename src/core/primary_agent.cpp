@@ -1,0 +1,221 @@
+#include "core/primary_agent.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nlc::core {
+
+PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
+                           net::TcpStack& tcp, kern::ContainerId cid,
+                           blk::DrbdPrimary& drbd, StateChannel& state_out,
+                           AckChannel& ack_in, HeartbeatChannel& hb_out,
+                           ReplicationMetrics& metrics)
+    : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid), drbd_(&drbd),
+      state_out_(&state_out), ack_in_(&ack_in), hb_out_(&hb_out),
+      metrics_(&metrics), ckpt_(kernel, tcp), cache_(kernel, cid),
+      rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
+      ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {}
+
+net::IpAddr PrimaryAgent::service_ip() const {
+  return static_cast<net::IpAddr>(kernel_->container(cid_)->service_ip());
+}
+
+sim::task<> PrimaryAgent::start() {
+  sim::Simulation& sim = kernel_->simulation();
+  // Output commit from the very beginning: no packet escapes without a
+  // committed checkpoint behind it.
+  tcp_->plug(service_ip()).engage();
+
+  // Heartbeats start before the initial synchronization: the initial full
+  // state copy takes far longer than the detector's 90 ms budget, and the
+  // agent driving it is proof of life.
+  sim.spawn(kernel_->domain(), heartbeat_loop());
+  sim.spawn(kernel_->domain(), ack_loop());
+
+  // Initial full synchronization (Remus's initial state copy).
+  co_await checkpoint_once(/*initial=*/true);
+
+  sim.spawn(kernel_->domain(), epoch_loop());
+}
+
+sim::task<> PrimaryAgent::epoch_loop() {
+  sim::Simulation& sim = kernel_->simulation();
+  while (running_) {
+    co_await sim.sleep_for(opts_.epoch_length);  // execute phase
+    if (!running_) break;
+    // The ack gates output *release*, not the next epoch: transfer of
+    // epoch k overlaps execution of k+1 (Remus's asynchronous pipeline).
+    // A bounded window of two un-acked epochs provides the back-pressure
+    // that keeps a slow backup (Table I's "Basic" list-walk page store)
+    // from accumulating unbounded staged state.
+    NLC_CHECK(epoch_ >= 1);
+    if (epoch_ >= 2) co_await wait_acked(epoch_ - 2);
+    co_await checkpoint_once(false);
+  }
+}
+
+sim::task<> PrimaryAgent::wait_acked(std::uint64_t epoch) {
+  while (acked_epoch_ < epoch) {
+    ack_event_->reset();
+    co_await ack_event_->wait();
+  }
+}
+
+Time PrimaryAgent::send_side_cost(std::uint64_t bytes, bool staged) const {
+  const auto& c = ckpt_.costs();
+  double mb = static_cast<double>(bytes) / static_cast<double>(nlc::kMiB);
+  // Staged shipping streams out of the staging buffer concurrently with
+  // execution at near-wire speed; the synchronous path pays the full
+  // user-space TCP copy cost while the container is paused (§V-D(2)).
+  Time t = static_cast<Time>(
+      mb * static_cast<double>(staged ? c.staged_send_per_mb
+                                      : c.sync_send_per_mb));
+  if (!opts_.optimize_criu) {
+    // Stock CRIU page-server proxies: two extra full copies (§V-A).
+    t += static_cast<Time>(2.0 * mb *
+                           static_cast<double>(c.proxy_copy_per_mb));
+  }
+  return t;
+}
+
+sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged) {
+  sim::Simulation& sim = kernel_->simulation();
+  Time cost = send_side_cost(msg.wire_bytes, staged);
+  metrics_->primary_agent_busy += cost;
+  co_await sim.sleep_for(cost);
+  std::uint64_t bytes = msg.wire_bytes;
+  state_out_->send(std::move(msg), bytes);
+}
+
+sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
+  sim::Simulation& sim = kernel_->simulation();
+  const auto& costs = ckpt_.costs();
+  std::uint64_t epoch = epoch_;
+  EpochRec& rec = epoch_recs_[epoch];
+  rec.stop_begin = sim.now();
+
+  // ---- Stop the container (freezer, §II-B / §V-A) -------------------------
+  kernel_->freeze_container(cid_);
+  if (opts_.optimize_criu) {
+    Time poll = static_cast<Time>(rng_.normal_clamped(
+        static_cast<double>(costs.freezer_poll_mean),
+        static_cast<double>(costs.freezer_poll_mean) / 2.0,
+        50e3, 1e6));
+    co_await sim.sleep_for(poll);
+  } else {
+    co_await sim.sleep_for(costs.freezer_sleep_quantum);
+  }
+
+  // ---- Block network input (§III / §V-C) -----------------------------------
+  auto& ingress = tcp_->ingress(service_ip());
+  if (opts_.plug_input_blocking) {
+    ingress.set_mode(net::IngressFilter::Mode::kBuffer);
+    co_await sim.sleep_for(costs.plug_block_cost);
+  } else {
+    ingress.set_mode(net::IngressFilter::Mode::kDrop);
+    co_await sim.sleep_for(costs.firewall_block_cost);
+  }
+
+  // ---- Mark the end of this epoch's disk writes ----------------------------
+  drbd_->send_barrier(epoch);
+
+  // ---- Harvest the container state (CRIU engine) ---------------------------
+  criu::HarvestOptions ho;
+  ho.incremental = !initial;
+  ho.vma_via_netlink = opts_.vma_via_netlink;
+  ho.pages_via_shared_memory = opts_.pages_via_shared_memory;
+  ho.fs_cache_via_dnc = opts_.fs_cache_via_dnc;
+  const criu::InfrequentState* cached =
+      opts_.cache_infrequent_state ? cache_.get() : nullptr;
+  criu::HarvestResult hr = ckpt_.harvest(cid_, epoch, cached, ho);
+  if (opts_.cache_infrequent_state) cache_.update(hr.image.infrequent);
+  co_await sim.sleep_for(hr.cost.total());
+  metrics_->primary_agent_busy += hr.cost.total();
+
+  EpochStateMsg msg;
+  msg.epoch = epoch;
+  msg.wire_bytes = hr.image.byte_size();
+  std::uint64_t dirty = hr.image.dirty_page_count();
+  std::uint64_t bytes = msg.wire_bytes;
+  msg.image = std::move(hr.image);
+
+  // ---- Ship (synchronously if no staging buffer, §V-D(2)) ------------------
+  bool sync_ship = initial || !opts_.staging_buffer;
+  if (sync_ship) {
+    co_await ship_state(std::move(msg), /*staged=*/false);
+    co_await wait_acked(epoch);
+  }
+
+  // ---- Unblock input, arm output commit, resume ---------------------------
+  if (opts_.plug_input_blocking) {
+    ingress.set_mode(net::IngressFilter::Mode::kPass);
+  } else {
+    ingress.set_mode(net::IngressFilter::Mode::kPass);
+    co_await sim.sleep_for(costs.firewall_unblock_cost);
+  }
+  rec.marker = tcp_->plug(service_ip()).insert_marker();
+  rec.marker_inserted = true;
+  kernel_->thaw_container(cid_);
+
+  Time stop = sim.now() - rec.stop_begin;
+  // The initial full synchronization is a one-off warm-up, not an epoch of
+  // steady-state operation: keep it out of the per-epoch statistics.
+  if (!initial) {
+    metrics_->stop_time_ms.add(to_millis(stop));
+    metrics_->state_bytes.add(static_cast<double>(bytes));
+    metrics_->dirty_pages.add(static_cast<double>(dirty));
+    ++metrics_->epochs_completed;
+    metrics_->bytes_shipped += bytes;
+  }
+
+  if (sync_ship) {
+    // The ack arrived while the container was still paused: the epoch is
+    // committed, release its buffered output now.
+    tcp_->plug(service_ip()).release_to_marker(rec.marker);
+    metrics_->commit_latency_ms.add(to_millis(sim.now() - rec.stop_begin));
+    epoch_recs_.erase(epoch);
+  } else {
+    // Staged: ship concurrently with the next execute phase; the ack_loop
+    // releases the marker when the backup confirms.
+    sim.spawn(kernel_->domain(), ship_state(std::move(msg), /*staged=*/true));
+  }
+  ++epoch_;
+}
+
+sim::task<> PrimaryAgent::ack_loop() {
+  while (true) {
+    AckMsg ack = co_await ack_in_->recv();
+    NLC_CHECK_MSG(ack.epoch >= acked_epoch_, "acks must be monotone");
+    acked_epoch_ = ack.epoch;
+    ack_event_->set();
+    auto it = epoch_recs_.find(ack.epoch);
+    if (it != epoch_recs_.end() && it->second.marker_inserted) {
+      tcp_->plug(service_ip()).release_to_marker(it->second.marker);
+      metrics_->commit_latency_ms.add(
+          to_millis(kernel_->simulation().now() - it->second.stop_begin));
+      epoch_recs_.erase(it);
+    }
+  }
+}
+
+sim::task<> PrimaryAgent::heartbeat_loop() {
+  sim::Simulation& sim = kernel_->simulation();
+  std::uint64_t seq = 0;
+  Time last_usage = -1;
+  while (running_) {
+    co_await sim.sleep_for(opts_.heartbeat_interval);
+    const kern::Container* c = kernel_->container(cid_);
+    if (c == nullptr) break;
+    Time usage = c->cpu().usage();
+    // Send as long as the container makes progress (§IV). A container
+    // frozen by our own checkpoint is alive by construction, so the agent
+    // keeps beating through long pauses instead of inducing a false alarm.
+    if (usage > last_usage || c->frozen()) {
+      hb_out_->send(HeartbeatMsg{seq++, sim.now()}, 64);
+    }
+    last_usage = usage;
+  }
+}
+
+}  // namespace nlc::core

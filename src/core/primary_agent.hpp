@@ -1,0 +1,85 @@
+// The NiLiCon primary agent (§IV): drives the epoch cycle on the protected
+// container.
+//
+// Per epoch: let the container execute for epoch_length; freeze it; block
+// network input; send the DRBD barrier; harvest the incremental checkpoint
+// (CRIU engine + state cache); optionally ship it synchronously (no staging
+// buffer) or stage it and ship after resume; unblock input, insert the
+// output-commit marker, thaw. Buffered output of epoch k is released when
+// the backup acknowledges epoch k's state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "blockdev/drbd.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "core/protocol.hpp"
+#include "core/state_cache.hpp"
+#include "criu/checkpoint.hpp"
+#include "kernel/kernel.hpp"
+#include "net/tcp.hpp"
+#include "sim/sync.hpp"
+#include "util/rng.hpp"
+
+namespace nlc::core {
+
+class PrimaryAgent {
+ public:
+  PrimaryAgent(Options opts, kern::Kernel& kernel, net::TcpStack& tcp,
+               kern::ContainerId cid, blk::DrbdPrimary& drbd,
+               StateChannel& state_out, AckChannel& ack_in,
+               HeartbeatChannel& hb_out, ReplicationMetrics& metrics);
+
+  /// Spawns the epoch loop, ack receiver and heartbeat sender under the
+  /// primary host's domain. Returns once the initial full synchronization
+  /// has been acknowledged by the backup (the container is protected from
+  /// that point on).
+  sim::task<> start();
+
+  /// Stops taking checkpoints (end of measurement interval).
+  void stop() { running_ = false; }
+
+  std::uint64_t current_epoch() const { return epoch_; }
+  std::uint64_t acked_epoch() const { return acked_epoch_; }
+
+ private:
+  sim::task<> epoch_loop();
+  sim::task<> ack_loop();
+  sim::task<> heartbeat_loop();
+  sim::task<> checkpoint_once(bool initial);
+  sim::task<> ship_state(EpochStateMsg msg, bool staged);
+  sim::task<> wait_acked(std::uint64_t epoch);
+  Time send_side_cost(std::uint64_t bytes, bool staged) const;
+  net::IpAddr service_ip() const;
+
+  Options opts_;
+  kern::Kernel* kernel_;
+  net::TcpStack* tcp_;
+  kern::ContainerId cid_;
+  blk::DrbdPrimary* drbd_;
+  StateChannel* state_out_;
+  AckChannel* ack_in_;
+  HeartbeatChannel* hb_out_;
+  ReplicationMetrics* metrics_;
+
+  criu::CheckpointEngine ckpt_;
+  InfrequentStateCache cache_;
+  Rng rng_;
+
+  bool running_ = true;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t acked_epoch_ = 0;
+  std::unique_ptr<sim::Event> ack_event_;
+  /// epoch -> (plug marker, stop-begin time); marker released on ack.
+  struct EpochRec {
+    std::uint64_t marker = 0;
+    bool marker_inserted = false;
+    Time stop_begin = 0;
+  };
+  std::map<std::uint64_t, EpochRec> epoch_recs_;
+};
+
+}  // namespace nlc::core

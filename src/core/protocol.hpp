@@ -1,0 +1,49 @@
+// Messages between the primary and backup agents on the dedicated
+// replication link.
+#pragma once
+
+#include <cstdint>
+
+#include "criu/image.hpp"
+#include "net/channel.hpp"
+#include "util/time.hpp"
+
+namespace nlc::core {
+
+struct EpochStateMsg {
+  std::uint64_t epoch = 0;
+  criu::CheckpointImage image;
+  std::uint64_t wire_bytes = 0;
+};
+
+struct AckMsg {
+  std::uint64_t epoch = 0;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+  Time sent_at = 0;
+};
+
+using StateChannel = net::Channel<EpochStateMsg>;
+using AckChannel = net::Channel<AckMsg>;
+using HeartbeatChannel = net::Channel<HeartbeatMsg>;
+
+/// Number of read()-sized chunks the state of one epoch arrives in at the
+/// backup. Page data streams in 64 KiB chunks; TCP socket state arrives in
+/// small per-queue pieces (~512 B), which is why socket-heavy workloads
+/// (Node) burn more backup CPU than page-heavy ones of equal size
+/// (Table V discussion).
+inline std::uint64_t chunk_count(const criu::CheckpointImage& img) {
+  auto ceil_div = [](std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+  };
+  std::uint64_t n = 2;  // header + trailer
+  n += ceil_div(img.pages.size() * nlc::kPageSize, 64 * nlc::kKiB);
+  n += ceil_div(img.socket_bytes(), 512);
+  n += img.processes.size();
+  n += ceil_div(img.fs_cache.byte_size(), 4 * nlc::kKiB);
+  return n;
+}
+
+}  // namespace nlc::core

@@ -1,0 +1,70 @@
+// Cache of infrequently-modified in-kernel container state (§V-B).
+//
+// The most effective NiLiCon optimization: control groups, namespaces,
+// mount points, device files and memory-mapped files rarely change, so the
+// agent caches their harvested form and replays it into each checkpoint.
+// A kernel module hooks (via ftrace) every code path that can mutate them;
+// when a hook fires for the protected container the cache is invalidated
+// and the next checkpoint re-harvests.
+//
+// Like the paper's research prototype, the hook set covers the common
+// mutation paths; the version counter double-checks staleness at use time,
+// so a missed hook degrades cost, never correctness.
+#pragma once
+
+#include <optional>
+
+#include "criu/checkpoint.hpp"
+#include "kernel/kernel.hpp"
+
+namespace nlc::core {
+
+class InfrequentStateCache {
+ public:
+  InfrequentStateCache(kern::Kernel& k, kern::ContainerId cid)
+      : kernel_(&k), cid_(cid) {
+    attach_hooks();
+  }
+
+  /// The cached snapshot, or nullptr when invalid (checkpoint engine then
+  /// harvests afresh).
+  const criu::InfrequentState* get() const {
+    if (!cached_.has_value()) return nullptr;
+    return &*cached_;
+  }
+
+  /// Installs a fresh harvest into the cache.
+  void update(criu::InfrequentState st) { cached_ = std::move(st); }
+
+  void invalidate() {
+    cached_.reset();
+    ++invalidations_;
+  }
+
+  bool valid() const { return cached_.has_value(); }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  void attach_hooks() {
+    // The kernel functions NiLiCon's module instruments (§V-B).
+    static constexpr const char* kHookTargets[] = {
+        "do_mount",       "do_umount", "setns",
+        "cgroup_attach_task", "mknod", "mmap_region",
+        "create_new_namespaces",
+    };
+    for (const char* fn : kHookTargets) {
+      kernel_->ftrace().attach(fn, [this](const kern::TraceEvent& ev) {
+        // The hook checks the calling thread's container (§V-B): events
+        // from other containers don't invalidate this cache.
+        if (ev.container == cid_) invalidate();
+      });
+    }
+  }
+
+  kern::Kernel* kernel_;
+  kern::ContainerId cid_;
+  std::optional<criu::InfrequentState> cached_;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace nlc::core

@@ -1,0 +1,160 @@
+// Calibrated costs of harvesting/restoring container state through kernel
+// interfaces. Every constant cites the paper measurement it reproduces.
+//
+// These are the latencies the paper's §V optimizations attack: the legacy
+// /proc + syscall interfaces are slow because of (1) syscall count, (2)
+// extra information generated, (3) text formatting (§V). The `task-diag`
+// netlink patch and NiLiCon's caching avoid them.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace nlc::criu {
+
+struct KernelInterfaceCosts {
+  // ---- Freezer (§V-A) ----------------------------------------------------
+  /// Stock CRIU sleeps 100 ms between issuing virtual signals and checking
+  /// thread state ("avoid busy waiting", §V-A).
+  Time freezer_sleep_quantum = nlc::milliseconds(100);
+  /// NiLiCon polls instead; even for syscall-heavy benchmarks the average
+  /// busy-loop latency is < 1 ms (§V-A). Mean polling wait:
+  Time freezer_poll_mean = nlc::microseconds(400);
+  /// Per-thread virtual-signal delivery cost.
+  Time freeze_signal_per_thread = nlc::microseconds(10);
+
+  // ---- Per-thread state (§VII-C scalability) -----------------------------
+  /// Retrieving registers, signal mask, scheduling policy per thread via
+  /// ptrace/parasite: 148 us for 1 thread scaling to 4 ms at 32 threads
+  /// (i.e. ~125 us/thread); we use an affine model.
+  Time thread_state_base = nlc::microseconds(25);
+  Time thread_state_per_thread = nlc::microseconds(123);
+
+  // ---- Per-process state ---------------------------------------------------
+  // The paper's "per-process state" number for lighttpd (6.5 ms @ 1 proc ->
+  // 28.7 ms @ 8 procs) aggregates fd tables, VMAs, parasite setup and
+  // sockets; here only the bare process walk, with the rest itemized below.
+  Time process_state_base = nlc::microseconds(800);
+  Time process_state_per_proc = nlc::microseconds(1000);
+  /// Per ordinary (non-socket) fd entry.
+  Time per_fd = nlc::microseconds(4);
+
+  // ---- Sockets (§VII-C: 1.2 ms @2 clients -> 13 ms @128 clients) ---------
+  /// getsockopt(TCP_REPAIR...) per established socket: queues + seq state.
+  Time socket_repair_per_socket = nlc::microseconds(93);
+  Time socket_repair_base = nlc::microseconds(1000);
+  /// Draining the repair-mode read/write queues costs per byte queued.
+  Time socket_repair_per_kb = nlc::microseconds_f(1.5);
+
+  // ---- Fixed per-dump overhead --------------------------------------------
+  /// Parasite injection, image bookkeeping, pipes setup: paid every epoch.
+  Time dump_misc = nlc::microseconds(1100);
+
+  // ---- VMAs (§V-D deficiency 1) ------------------------------------------
+  /// /proc/pid/smaps: text-formatted, includes page statistics CRIU does
+  /// not need; ~50 us per VMA.
+  Time smaps_per_vma = nlc::microseconds(50);
+  /// task-diag netlink interface (CRIU developers' patch): binary, ~2 us.
+  Time netlink_per_vma = nlc::microseconds(2);
+
+  // ---- Dirty-page discovery (§VII-C: 1441 us @49K pages,
+  //      2887 us @111K pages => ~23 ns/page + ~300 us base) ----------------
+  Time pagemap_scan_base = nlc::microseconds(300);
+  Time pagemap_scan_per_page = nlc::nanoseconds(20);
+
+  // ---- Page content transfer out of the parasite (§V-D) ------------------
+  /// memcpy into the staging buffer: 263 us/121 pages ... 1099 us/495 pages
+  /// (§VII-C) => ~2.2 us per 4 KiB page.
+  Time page_copy_per_page = nlc::microseconds_f(2.2);
+  /// Extra cost per page when the parasite pushes pages through a pipe
+  /// (multiple syscalls per chunk, §V-D deficiency 3). Removing this is
+  /// the "transfer dirty pages via shared memory" row of Table I.
+  Time pipe_transfer_per_page = nlc::microseconds_f(6.0);
+
+  // ---- Infrequently-modified state (§V-B) ---------------------------------
+  /// Namespace collection: "may take up to 100 ms" (§I). Mean cost:
+  Time namespaces_collect = nlc::milliseconds(92);
+  /// Control groups, via cgroupfs text interfaces.
+  Time cgroups_collect = nlc::milliseconds(24);
+  /// Mount points (/proc/pid/mountinfo parse) per entry.
+  Time mounts_collect_base = nlc::milliseconds(8);
+  Time mounts_per_entry = nlc::microseconds(120);
+  /// Device files.
+  Time devices_collect = nlc::milliseconds(4);
+  /// stat() per memory-mapped file (§V cause 1): dynamically linked
+  /// libraries make this a large set.
+  Time stat_per_mmap_file = nlc::microseconds(280);
+  /// Reading the cached copy instead (§V-B): one version compare.
+  Time infrequent_cache_check = nlc::microseconds(15);
+
+  // ---- File-system cache (fgetfc, §III) -----------------------------------
+  Time fgetfc_base = nlc::microseconds(150);
+  Time fgetfc_per_page = nlc::microseconds_f(1.1);
+  /// What flushing to a NAS per epoch would cost instead (stock CRIU
+  /// behaviour, "hundreds of milliseconds", §III) — used by the ablation.
+  Time nas_flush_base = nlc::milliseconds(40);
+  Time nas_flush_per_page = nlc::microseconds(25);
+
+  // ---- Restore side (§VII-B, Table II) ------------------------------------
+  // Calibrated against Table II: Net restore = 218 ms with ~107 ms elapsing
+  // before the sockets are live (so TCP retransmission at +200 ms from
+  // socket restore overlaps all but 54 ms of the remaining work), and the
+  // Redis-vs-Net delta (+96 ms restore, +65 ms of it before sockets) pins
+  // the per-page split between the content-write pass (before sockets,
+  // during process recreation) and the finalize/remap pass (after).
+  Time restore_namespaces = nlc::milliseconds(52);
+  Time restore_cgroups = nlc::milliseconds(14);
+  Time restore_mounts_base = nlc::milliseconds(18);
+  Time restore_per_mount = nlc::microseconds(400);
+  Time restore_per_device = nlc::microseconds(200);
+  Time restore_per_process = nlc::milliseconds(9);
+  Time restore_per_thread = nlc::microseconds(350);
+  Time restore_per_fd = nlc::microseconds(6);
+  Time restore_per_socket = nlc::microseconds(180);
+  Time restore_per_mmap_file = nlc::microseconds(300);
+  /// Memory content write during process recreation (pre-socket pass).
+  Time restore_page_write = nlc::microseconds_f(2.6);
+  /// Remap/mprotect finalize pass (post-socket).
+  Time restore_page_finalize = nlc::microseconds_f(1.3);
+  /// Cgroup reattachment, mount finalization, thaw of restored processes.
+  Time restore_finalize_base = nlc::milliseconds(109);
+  Time restore_fs_cache_per_page = nlc::microseconds_f(2.0);
+  /// Image materialization from buffered epoch deltas before restore.
+  Time image_build_base = nlc::milliseconds(11);
+  Time image_build_per_mb = nlc::microseconds(210);
+
+  // ---- State shipping (§V-A proxy removal, §V-D staging buffer) -----------
+  /// Synchronous user-space TCP send of the state while the container is
+  /// still paused (no staging buffer): syscall + copy cost per MiB on top
+  /// of wire serialization (~350 MB/s effective).
+  Time sync_send_per_mb = nlc::milliseconds_f(2.2);
+  /// Stock CRIU page-server proxies at both ends: two extra full copies of
+  /// the state per transfer (§V-A).
+  Time proxy_copy_per_mb = nlc::milliseconds_f(1.1);
+  /// Staged shipping out of the staging buffer overlaps execution and is
+  /// effectively zero-copy (sendfile-style); only queueing syscalls remain.
+  Time staged_send_per_mb = nlc::microseconds(250);
+
+  // ---- Network plumbing (§V-C, Table II) -----------------------------------
+  /// iptables rule install + remove per epoch (stock input blocking).
+  Time firewall_block_cost = nlc::milliseconds_f(3.5);
+  Time firewall_unblock_cost = nlc::milliseconds_f(3.5);
+  /// sch_plug-based buffering instead: 43 us per epoch (§V-C).
+  Time plug_block_cost = nlc::microseconds(43);
+  /// Gratuitous ARP broadcast + switch update (Table II: 28 ms).
+  Time gratuitous_arp = nlc::milliseconds(28);
+  /// Residual recovery actions (Table II "Others": 7 ms).
+  Time recovery_misc = nlc::milliseconds(7);
+};
+
+/// Backup-side processing costs (page-store insertion, chunked reads).
+struct BackupCosts {
+  /// Radix page store: 4 node visits per page.
+  Time pagestore_per_visit = nlc::nanoseconds(350);
+  /// read() syscall per arriving state chunk (Table V discussion: finer
+  /// granularity => more reads => more backup CPU).
+  Time read_per_chunk = nlc::microseconds_f(2.2);
+  /// Applying a buffered epoch to the committed store, per page.
+  Time commit_per_page = nlc::microseconds_f(0.9);
+};
+
+}  // namespace nlc::criu

@@ -1,0 +1,173 @@
+// Backup-side committed-page stores.
+//
+// Stock CRIU keeps incremental checkpoints as a linked list of directories;
+// for every received page it walks the list to find and drop a previous
+// copy, so per-page cost grows with the number of checkpoints taken — fatal
+// at one checkpoint every 30 ms. NiLiCon replaces this with a four-level
+// radix tree mimicking hardware page tables (§V-A), making the per-page
+// cost constant. Both are implemented for the Table I ablation; store()
+// returns the number of node/directory visits so the backup agent can
+// charge simulated time per visit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "criu/image.hpp"
+
+namespace nlc::criu {
+
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Opens a new incremental checkpoint (a new directory / generation).
+  virtual void begin_checkpoint(std::uint64_t epoch) = 0;
+
+  /// Inserts/overwrites one page; returns the number of structure visits
+  /// performed (the unit the backup CPU cost model charges).
+  virtual std::uint64_t store(const PageRecord& rec) = 0;
+
+  /// Latest committed copy of `page`, or nullptr.
+  virtual const PageRecord* lookup(kern::PageNum page) const = 0;
+
+  /// Number of distinct pages held.
+  virtual std::uint64_t page_count() const = 0;
+
+  /// All pages (restore walks this to materialize memory images).
+  virtual std::vector<const PageRecord*> all_pages() const = 0;
+};
+
+/// Stock CRIU: linked list of per-checkpoint directories.
+class ListPageStore final : public PageStore {
+ public:
+  void begin_checkpoint(std::uint64_t epoch) override {
+    dirs_.push_back(Dir{epoch, {}});
+  }
+
+  std::uint64_t store(const PageRecord& rec) override {
+    NLC_CHECK_MSG(!dirs_.empty(), "store before begin_checkpoint");
+    // Walk every earlier checkpoint directory looking for a previous copy
+    // of this page to drop — the O(#checkpoints) behaviour of §V-A.
+    std::uint64_t visits = 0;
+    auto last = std::prev(dirs_.end());
+    for (auto it = dirs_.begin(); it != last; ++it) {
+      ++visits;
+      it->pages.erase(rec.page);
+    }
+    ++visits;
+    last->pages[rec.page] = rec;
+    return visits;
+  }
+
+  const PageRecord* lookup(kern::PageNum page) const override {
+    for (auto it = dirs_.rbegin(); it != dirs_.rend(); ++it) {
+      auto p = it->pages.find(page);
+      if (p != it->pages.end()) return &p->second;
+    }
+    return nullptr;
+  }
+
+  std::uint64_t page_count() const override {
+    std::uint64_t n = 0;
+    for (const auto& d : dirs_) n += d.pages.size();
+    return n;
+  }
+
+  std::vector<const PageRecord*> all_pages() const override {
+    std::vector<const PageRecord*> out;
+    for (const auto& d : dirs_) {
+      for (const auto& [num, rec] : d.pages) out.push_back(&rec);
+    }
+    return out;
+  }
+
+  std::size_t checkpoint_count() const { return dirs_.size(); }
+
+ private:
+  struct Dir {
+    std::uint64_t epoch;
+    std::unordered_map<kern::PageNum, PageRecord> pages;
+  };
+  std::list<Dir> dirs_;
+};
+
+/// NiLiCon: four-level radix tree, 2^9 fan-out per level (like x86-64 page
+/// tables); constant 4 visits per store.
+class RadixPageStore final : public PageStore {
+ public:
+  void begin_checkpoint(std::uint64_t epoch) override { epoch_ = epoch; }
+
+  std::uint64_t store(const PageRecord& rec) override {
+    Node* n = &root_;
+    for (int level = 3; level >= 1; --level) {
+      std::size_t idx = index_at(rec.page, level);
+      if (!n->children[idx]) n->children[idx] = std::make_unique<Node>();
+      n = n->children[idx].get();
+    }
+    std::size_t idx = index_at(rec.page, 0);
+    if (!n->leaves[idx]) {
+      n->leaves[idx] = std::make_unique<PageRecord>(rec);
+      ++count_;
+    } else {
+      *n->leaves[idx] = rec;
+    }
+    return kLevels;
+  }
+
+  const PageRecord* lookup(kern::PageNum page) const override {
+    const Node* n = &root_;
+    for (int level = 3; level >= 1; --level) {
+      const auto& child = n->children[index_at(page, level)];
+      if (!child) return nullptr;
+      n = child.get();
+    }
+    return n->leaves[index_at(page, 0)].get();
+  }
+
+  std::uint64_t page_count() const override { return count_; }
+
+  std::vector<const PageRecord*> all_pages() const override {
+    std::vector<const PageRecord*> out;
+    out.reserve(count_);
+    collect(root_, 3, out);
+    return out;
+  }
+
+  static constexpr std::uint64_t kLevels = 4;
+
+ private:
+  static constexpr std::uint64_t kBits = 9;
+  static constexpr std::size_t kFanout = 1u << kBits;
+
+  struct Node {
+    std::array<std::unique_ptr<Node>, kFanout> children{};
+    std::array<std::unique_ptr<PageRecord>, kFanout> leaves{};
+  };
+
+  static std::size_t index_at(kern::PageNum page, int level) {
+    return static_cast<std::size_t>((page >> (kBits * level)) & (kFanout - 1));
+  }
+
+  static void collect(const Node& n, int level,
+                      std::vector<const PageRecord*>& out) {
+    if (level == 0) {
+      for (const auto& leaf : n.leaves) {
+        if (leaf) out.push_back(leaf.get());
+      }
+      return;
+    }
+    for (const auto& child : n.children) {
+      if (child) collect(*child, level - 1, out);
+    }
+  }
+
+  Node root_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace nlc::criu

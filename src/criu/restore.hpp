@@ -1,0 +1,58 @@
+// Restore engine: CRIU's restore path onto a (backup) simulated kernel.
+//
+// Runs as a coroutine so each stage consumes simulated time from the cost
+// model; the returned timeline feeds Table II's recovery-latency breakdown.
+// Stage order matches the paper (§III, §IV): the network namespace comes up
+// first (which is why ingress must stay blocked until the sockets exist),
+// then cgroups/mounts/devices, processes with their address spaces and fd
+// tables, sockets via repair mode, and finally memory page contents and the
+// file-system cache.
+#pragma once
+
+#include <vector>
+
+#include "criu/costs.hpp"
+#include "criu/image.hpp"
+#include "criu/pagestore.hpp"
+#include "kernel/kernel.hpp"
+#include "net/tcp.hpp"
+#include "sim/task.hpp"
+
+namespace nlc::criu {
+
+struct RestoreTimeline {
+  Time started = 0;
+  Time namespaces_done = 0;  // netns exists from here (RST window opens)
+  Time processes_done = 0;
+  Time sockets_done = 0;     // repaired sockets live; RTO countdown starts
+  Time memory_done = 0;
+  Time finished = 0;
+
+  std::uint64_t pages_restored = 0;
+  std::uint64_t sockets_restored = 0;
+  std::uint64_t fs_cache_pages_restored = 0;
+
+  Time total() const { return finished - started; }
+};
+
+class RestoreEngine {
+ public:
+  RestoreEngine(kern::Kernel& k, net::TcpStack& tcp,
+                KernelInterfaceCosts costs = {})
+      : kernel_(&k), tcp_(&tcp), costs_(costs) {}
+
+  /// Restores a container from `img` (process/socket/infrequent state of
+  /// the last committed epoch) plus the accumulated committed memory pages
+  /// and file-system-cache state. `rto_fixed` selects the §V-E RTO clamp.
+  sim::task<RestoreTimeline> restore(
+      const CheckpointImage& img,
+      const std::vector<const PageRecord*>& committed_pages,
+      const kern::DncHarvest& committed_fs_cache, bool rto_fixed);
+
+ private:
+  kern::Kernel* kernel_;
+  net::TcpStack* tcp_;
+  KernelInterfaceCosts costs_;
+};
+
+}  // namespace nlc::criu

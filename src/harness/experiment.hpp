@@ -1,0 +1,97 @@
+// Experiment harness: runs one benchmark in one protection mode on a fresh
+// Cluster and returns everything the paper's tables report.
+//
+// Protection modes: stock (no replication), NiLiCon (the paper's system,
+// with per-optimization toggles), MC (the Remus-on-KVM baseline).
+// Optional fail-stop fault injection at a random point of the middle 80 %
+// of the measurement window (§VII-A), with KV/content validation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apps/spec.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace nlc::harness {
+
+enum class Mode { kStock, kNiLiCon, kMc };
+
+inline const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kStock: return "stock";
+    case Mode::kNiLiCon: return "NiLiCon";
+    case Mode::kMc: return "MC";
+  }
+  return "?";
+}
+
+struct RunConfig {
+  apps::AppSpec spec;
+  Mode mode = Mode::kNiLiCon;
+  core::Options nilicon;           // used when mode == kNiLiCon
+  std::uint64_t seed = 1;
+
+  // Interactive (server) runs.
+  Time warmup = nlc::milliseconds(500);
+  Time measure = nlc::seconds(8);
+  std::optional<int> client_connections;  // default: spec.saturation_clients
+  std::optional<int> client_pipeline;     // default: spec.client_pipeline
+  bool kv_validation = false;             // real content payloads + checks
+  std::uint64_t prefill_kv_pages = 0;     // pre-uploaded records (§VII-B)
+
+  // Batch runs.
+  Time batch_work = nlc::seconds(3);      // per-thread CPU quota
+
+  // Fault injection (§VII-A): at a uniform-random point of the middle 80 %
+  // of the measurement window. After recovery the run continues to the end
+  // of the window so post-failover progress is observable.
+  bool inject_fault = false;
+  /// Run a diskstress process alongside (first validation microbenchmark).
+  bool with_diskstress = false;
+};
+
+struct RunResult {
+  // Interactive.
+  double throughput_rps = 0;
+  std::uint64_t requests_completed = 0;
+  Samples latencies_ms;
+  double mean_latency_ms = 0;
+
+  // Batch.
+  Time batch_runtime = 0;
+  Time batch_ideal = 0;
+
+  // Replication internals (empty for stock runs).
+  core::ReplicationMetrics metrics;
+
+  // Table V.
+  double active_cores = 0;
+  double backup_cores = 0;
+
+  // Fault injection.
+  bool fault_injected = false;
+  bool recovered = false;
+  core::RecoveryMetrics recovery;
+  std::uint64_t requests_after_fault = 0;
+  std::uint64_t kv_errors = 0;
+  std::uint64_t broken_connections = 0;
+  std::uint64_t diskstress_errors = 0;
+  std::uint64_t diskstress_post_failover_mismatches = 0;
+  /// Client-observed service interruption (max latency spike minus the
+  /// pre-fault median), for Table II.
+  Time interruption = 0;
+};
+
+/// Runs one experiment. Deterministic for a given config+seed.
+RunResult run_experiment(const RunConfig& cfg);
+
+/// Convenience: overhead of `mode` versus a stock run with the same seed.
+/// For servers: relative throughput reduction; for batch: relative runtime
+/// increase (§VII-C definitions).
+double measure_overhead(const RunConfig& protected_cfg);
+
+}  // namespace nlc::harness

@@ -1,0 +1,127 @@
+#include "kernel/address_space.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nlc::kern {
+
+Vma AddressSpace::map(std::uint64_t npages, VmaKind kind,
+                             std::string backing_file) {
+  NLC_CHECK(npages > 0);
+  Vma v;
+  v.id = next_vma_id_++;
+  v.start = next_page_;
+  v.npages = npages;
+  v.kind = kind;
+  v.backing_file = std::move(backing_file);
+  next_page_ += npages + 16;  // guard gap, like real mmap layouts
+  mapped_pages_ += npages;
+  vmas_.push_back(std::move(v));
+  return vmas_.back();
+}
+
+void AddressSpace::install_vma(const Vma& v) {
+  NLC_CHECK(v.npages > 0);
+  for (const auto& existing : vmas_) {
+    NLC_CHECK_MSG(v.end() <= existing.start || v.start >= existing.end(),
+                  "install_vma overlaps an existing mapping");
+  }
+  next_vma_id_ = std::max(next_vma_id_, v.id + 1);
+  next_page_ = std::max(next_page_, v.end() + 16);
+  mapped_pages_ += v.npages;
+  vmas_.push_back(v);
+}
+
+void AddressSpace::unmap(std::uint64_t vma_id) {
+  auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                         [&](const Vma& v) { return v.id == vma_id; });
+  NLC_CHECK_MSG(it != vmas_.end(), "unmap of unknown VMA");
+  for (PageNum p = it->start; p < it->end(); ++p) {
+    dirty_.erase(p);
+    versions_.erase(p);
+    content_.erase(p);
+  }
+  mapped_pages_ -= it->npages;
+  vmas_.erase(it);
+}
+
+const Vma* AddressSpace::find_vma(std::uint64_t vma_id) const {
+  for (const auto& v : vmas_) {
+    if (v.id == vma_id) return &v;
+  }
+  return nullptr;
+}
+
+void AddressSpace::check_mapped(PageNum page) const {
+  for (const auto& v : vmas_) {
+    if (v.contains(page)) return;
+  }
+  NLC_CHECK_MSG(false, "access to unmapped page");
+}
+
+bool AddressSpace::touch(PageNum page) {
+  check_mapped(page);
+  ++versions_[page];
+  if (!tracking_) return false;
+  return dirty_.insert(page).second;
+}
+
+std::uint64_t AddressSpace::touch_range(PageNum start, std::uint64_t count) {
+  std::uint64_t faults = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    faults += touch(start + i) ? 1 : 0;
+  }
+  return faults;
+}
+
+bool AddressSpace::write(PageNum page, std::uint32_t offset,
+                         std::span<const std::byte> data) {
+  NLC_CHECK(offset + data.size() <= kPageSize);
+  bool fault = touch(page);
+  auto& buf = content_[page];
+  if (buf.size() < kPageSize) buf.resize(kPageSize);
+  std::copy(data.begin(), data.end(), buf.begin() + offset);
+  return fault;
+}
+
+std::vector<std::byte> AddressSpace::read(PageNum page, std::uint32_t offset,
+                                          std::uint32_t len) const {
+  NLC_CHECK(offset + len <= kPageSize);
+  std::vector<std::byte> out(len, std::byte{0});
+  auto it = content_.find(page);
+  if (it != content_.end()) {
+    std::copy(it->second.begin() + offset, it->second.begin() + offset + len,
+              out.begin());
+  }
+  return out;
+}
+
+const std::vector<std::byte>* AddressSpace::content(PageNum page) const {
+  auto it = content_.find(page);
+  return it == content_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::install_content(PageNum page, std::vector<std::byte> data) {
+  NLC_CHECK(data.size() == kPageSize);
+  ++versions_[page];
+  if (tracking_) dirty_.insert(page);
+  content_[page] = std::move(data);
+}
+
+void AddressSpace::clear_soft_dirty() {
+  tracking_ = true;
+  dirty_.clear();
+}
+
+void AddressSpace::disable_tracking() {
+  tracking_ = false;
+  dirty_.clear();
+}
+
+std::uint64_t AddressSpace::page_version(PageNum page) const {
+  auto it = versions_.find(page);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+}  // namespace nlc::kern

@@ -1,0 +1,131 @@
+// Simulated process address space: VMAs, 4 KiB pages, soft-dirty tracking.
+//
+// Two kinds of pages coexist (DESIGN.md §5.3):
+//  * content pages — written through write(); carry real bytes that the
+//    checkpoint engine copies, so end-to-end consistency is observable;
+//  * accounting pages — dirtied through touch(); carry only a version
+//    stamp. They cost a full kPageSize on the wire like real pages but do
+//    not occupy 4 KiB of simulator RAM, which keeps 100K-page working sets
+//    cheap.
+//
+// Soft-dirty tracking mirrors Linux's /proc/pid/clear_refs + pagemap
+// protocol: clear_soft_dirty() arms tracking and clears the bits;
+// dirty_pages() is the set a pagemap scan would report. The *cost* of the
+// scan (per mapped page) is charged by the checkpoint engine, not here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernel/ids.hpp"
+#include "util/bytes.hpp"
+
+namespace nlc::kern {
+
+enum class VmaKind : std::uint8_t {
+  kAnon,      // heap / anonymous mmap
+  kStack,
+  kFileMap,   // memory-mapped file (e.g. a dynamically linked library)
+  kShared,    // shared memory region (parasite <-> agent channel)
+};
+
+struct Vma {
+  std::uint64_t id = 0;
+  PageNum start = 0;        // first page number
+  std::uint64_t npages = 0;
+  VmaKind kind = VmaKind::kAnon;
+  std::string backing_file;  // for kFileMap
+  std::uint64_t version = 0; // bumped when the mapping itself changes
+
+  PageNum end() const { return start + npages; }
+  bool contains(PageNum p) const { return p >= start && p < end(); }
+};
+
+class AddressSpace {
+ public:
+  /// Maps a new VMA of `npages`; returns its descriptor. Page numbers are
+  /// allocated from a monotone bump allocator (no reuse; simulated
+  /// processes are short-lived enough).
+  Vma map(std::uint64_t npages, VmaKind kind,
+          std::string backing_file = {});
+
+  /// Unmaps the VMA with id `vma_id` (drops its pages and content).
+  void unmap(std::uint64_t vma_id);
+
+  /// Restore path: recreates a VMA at its checkpointed page range so page
+  /// numbers keep their identity across failover.
+  void install_vma(const Vma& v);
+
+  /// Moves the allocation cursor to at least `base`. The kernel gives each
+  /// process a disjoint page-number range (pid-keyed) so page numbers are
+  /// globally unique within a host — required for container-wide page
+  /// images.
+  void set_page_base(PageNum base) {
+    if (next_page_ < base) next_page_ = base;
+  }
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  const Vma* find_vma(std::uint64_t vma_id) const;
+
+  std::uint64_t mapped_pages() const { return mapped_pages_; }
+  std::uint64_t mapped_bytes() const { return mapped_pages_ * kPageSize; }
+
+  /// Dirties `page` without content. Returns true if the page transitioned
+  /// clean->dirty under tracking (i.e. a soft-dirty write fault occurred,
+  /// which costs runtime overhead).
+  bool touch(PageNum page);
+
+  /// Dirties `count` pages starting at `start`; returns the number of
+  /// clean->dirty transitions (write faults).
+  std::uint64_t touch_range(PageNum start, std::uint64_t count);
+
+  /// Content write within one page; dirties it. Returns true on a write
+  /// fault (as touch()).
+  bool write(PageNum page, std::uint32_t offset, std::span<const std::byte> data);
+
+  /// Reads content previously written to `page`. Unwritten bytes read as 0.
+  std::vector<std::byte> read(PageNum page, std::uint32_t offset,
+                              std::uint32_t len) const;
+
+  /// Full-page content for the checkpoint engine; nullptr for accounting
+  /// pages (no stored bytes).
+  const std::vector<std::byte>* content(PageNum page) const;
+
+  /// Installs page content wholesale (restore path).
+  void install_content(PageNum page, std::vector<std::byte> data);
+
+  /// Arms soft-dirty tracking and clears all soft-dirty bits
+  /// (/proc/pid/clear_refs). Idempotent.
+  void clear_soft_dirty();
+
+  /// Disables tracking (stock execution: no write-fault overhead).
+  void disable_tracking();
+
+  bool tracking() const { return tracking_; }
+
+  /// Pages dirtied since the last clear_soft_dirty(). Sorted copies are the
+  /// caller's job; iteration order is unspecified.
+  const std::unordered_set<PageNum>& dirty_pages() const { return dirty_; }
+
+  /// Per-page monotone version, for tests asserting incremental semantics.
+  std::uint64_t page_version(PageNum page) const;
+
+ private:
+  void check_mapped(PageNum page) const;
+
+  std::vector<Vma> vmas_;
+  std::uint64_t next_vma_id_ = 1;
+  PageNum next_page_ = 0x1000;  // arbitrary non-zero base
+  std::uint64_t mapped_pages_ = 0;
+  bool tracking_ = false;
+  std::unordered_set<PageNum> dirty_;
+  std::unordered_map<PageNum, std::uint64_t> versions_;
+  std::unordered_map<PageNum, std::vector<std::byte>> content_;
+};
+
+}  // namespace nlc::kern

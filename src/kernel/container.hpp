@@ -1,0 +1,131 @@
+// Simulated container: namespaces, cgroups, mounts, device files — the
+// in-kernel state that makes container checkpointing harder than VM
+// checkpointing (§I, §III).
+//
+// Each infrequently-modified state component carries a version counter.
+// Mutations bump the version and fire the matching ftrace hook, which is
+// how NiLiCon's state cache (§V-B) learns that its cached copy is stale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/cpu.hpp"
+#include "kernel/ids.hpp"
+
+namespace nlc::kern {
+
+enum class NamespaceType : std::uint8_t {
+  kNet,
+  kMount,
+  kPid,
+  kUts,
+  kIpc,
+  kUser,
+  kCgroup,
+};
+inline constexpr int kNamespaceTypeCount = 7;
+
+struct Namespace {
+  NamespaceType type = NamespaceType::kNet;
+  std::uint64_t ns_id = 0;
+  /// Size of the kernel-side configuration that a checkpoint must encode
+  /// (interface configs, uid maps, ...). Drives harvest cost and state size.
+  std::uint64_t config_bytes = 256;
+  std::uint64_t version = 1;
+
+  bool operator==(const Namespace&) const = default;
+};
+
+struct CgroupConfig {
+  std::string path;             // e.g. "/sys/fs/cgroup/nilicon/web"
+  std::uint64_t cpu_quota_us = 0;   // 0 = unlimited
+  std::uint64_t mem_limit_bytes = 0;
+  std::uint64_t version = 1;
+
+  bool operator==(const CgroupConfig&) const = default;
+};
+
+struct Mount {
+  std::string source;
+  std::string target;
+  std::string fstype;
+  std::uint64_t flags = 0;
+
+  bool operator==(const Mount&) const = default;
+};
+
+struct DeviceFile {
+  std::string path;
+  std::uint32_t major = 0;
+  std::uint32_t minor = 0;
+
+  bool operator==(const DeviceFile&) const = default;
+};
+
+class Container {
+ public:
+  Container(ContainerId id, std::string name, sim::Simulation& s,
+            sim::DomainPtr domain)
+      : id_(id), name_(std::move(name)),
+        cpu_(std::make_unique<CpuSet>(s, std::move(domain))) {}
+
+  ContainerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  CpuSet& cpu() { return *cpu_; }
+  const CpuSet& cpu() const { return *cpu_; }
+
+  std::vector<Pid>& pids() { return pids_; }
+  const std::vector<Pid>& pids() const { return pids_; }
+
+  std::vector<Namespace>& namespaces() { return namespaces_; }
+  const std::vector<Namespace>& namespaces() const { return namespaces_; }
+
+  CgroupConfig& cgroup() { return cgroup_; }
+  const CgroupConfig& cgroup() const { return cgroup_; }
+
+  std::vector<Mount>& mounts() { return mounts_; }
+  const std::vector<Mount>& mounts() const { return mounts_; }
+
+  std::vector<DeviceFile>& devices() { return devices_; }
+  const std::vector<DeviceFile>& devices() const { return devices_; }
+
+  /// Aggregate version over all infrequently-modified components; the
+  /// state cache compares this against its snapshot.
+  std::uint64_t infrequent_state_version() const {
+    return infrequent_version_;
+  }
+  void bump_infrequent_version() { ++infrequent_version_; }
+
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool f) { frozen_ = f; }
+
+  /// The network namespace id (also listed in namespaces()); the net module
+  /// keys NIC/veth attachment by this.
+  std::uint64_t net_ns_id() const { return net_ns_id_; }
+  void set_net_ns_id(std::uint64_t id) { net_ns_id_ = id; }
+
+  /// The container's virtual service address (opaque to the kernel; the
+  /// net module interprets it as an IpAddr). 0 = no network service.
+  std::uint64_t service_ip() const { return service_ip_; }
+  void set_service_ip(std::uint64_t ip) { service_ip_ = ip; }
+
+ private:
+  ContainerId id_;
+  std::string name_;
+  std::unique_ptr<CpuSet> cpu_;
+  std::vector<Pid> pids_;
+  std::vector<Namespace> namespaces_;
+  CgroupConfig cgroup_;
+  std::vector<Mount> mounts_;
+  std::vector<DeviceFile> devices_;
+  std::uint64_t infrequent_version_ = 1;
+  std::uint64_t net_ns_id_ = 0;
+  std::uint64_t service_ip_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace nlc::kern

@@ -1,0 +1,74 @@
+// Per-container CPU time accounting with freezer support.
+//
+// The paper's containers run on dedicated cores (§VI): a thread's compute
+// burst of length T completes T of simulated time later, with at most
+// `core_limit` bursts executing concurrently (excess bursts queue FIFO —
+// this is what makes saturation throughput CPU-bound). Freezing suspends
+// in-flight bursts and resumes them on thaw, giving exact
+// stop-the-container semantics for checkpointing. The consumed-cycle
+// counter doubles as the cgroup's cpuacct.usage file, which NiLiCon's
+// failure detector reads (§IV).
+#pragma once
+
+#include <list>
+#include <memory>
+
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "util/time.hpp"
+
+namespace nlc::kern {
+
+class CpuSet {
+ public:
+  CpuSet(sim::Simulation& s, sim::DomainPtr domain)
+      : sim_(&s), domain_(std::move(domain)) {}
+  CpuSet(const CpuSet&) = delete;
+  CpuSet& operator=(const CpuSet&) = delete;
+
+  /// Consumes `t` of CPU time on a dedicated core; completes after `t` of
+  /// unfrozen simulated time has elapsed.
+  sim::task<> consume(Time t);
+
+  /// Freezer: suspends all in-flight bursts. Idempotent.
+  void freeze();
+  /// Thaws and resumes in-flight bursts. Idempotent.
+  void unfreeze();
+  bool frozen() const { return frozen_; }
+
+  /// cpuacct.usage: total CPU time consumed so far (all cores summed).
+  Time usage() const { return usage_; }
+
+  /// Number of bursts currently executing or suspended (≈ busy threads).
+  int inflight() const { return static_cast<int>(slices_.size()); }
+
+  /// Caps concurrently executing bursts (container core allocation).
+  void set_core_limit(int cores);
+  int core_limit() const { return core_limit_; }
+  int running() const { return running_; }
+
+ private:
+  struct Slice {
+    Time remaining;
+    Time started = 0;       // valid while running
+    bool running = false;
+    bool queued = false;    // waiting for a core
+    sim::TimerHandle timer;
+    std::unique_ptr<sim::Event> done;
+  };
+  using SliceIter = std::list<Slice>::iterator;
+
+  void start_slice(SliceIter it);
+  void start_queued();
+
+  sim::Simulation* sim_;
+  sim::DomainPtr domain_;
+  bool frozen_ = false;
+  Time usage_ = 0;
+  int core_limit_ = 1 << 20;  // effectively unbounded by default
+  int running_ = 0;
+  std::list<Slice> slices_;
+};
+
+}  // namespace nlc::kern

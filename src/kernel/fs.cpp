@@ -1,0 +1,206 @@
+#include "kernel/fs.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nlc::kern {
+
+InodeNum Filesystem::create(const std::string& path, std::uint32_t mode) {
+  auto existing = by_path_.find(path);
+  if (existing != by_path_.end()) {
+    // Truncate semantics.
+    InodeNum ino = existing->second;
+    inodes_[ino].size = 0;
+    cache_[ino].pages.clear();
+    inode_dnc_[ino] = true;
+    return ino;
+  }
+  InodeNum ino = next_ino_++;
+  InodeAttr a;
+  a.ino = ino;
+  a.path = path;
+  a.mode = mode;
+  inodes_[ino] = std::move(a);
+  by_path_[path] = ino;
+  inode_dnc_[ino] = true;
+  return ino;
+}
+
+InodeNum Filesystem::lookup(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? 0 : it->second;
+}
+
+const InodeAttr* Filesystem::attr(InodeNum ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+void Filesystem::set_attr(InodeNum ino, std::uint32_t uid, std::uint32_t gid,
+                          std::uint32_t mode) {
+  auto it = inodes_.find(ino);
+  NLC_CHECK_MSG(it != inodes_.end(), "set_attr on unknown inode");
+  it->second.uid = uid;
+  it->second.gid = gid;
+  it->second.mode = mode;
+  inode_dnc_[ino] = true;
+}
+
+CachedPage& Filesystem::cache_page(InodeNum ino, std::uint64_t page) {
+  auto& fc = cache_[ino];
+  auto it = fc.pages.find(page);
+  if (it == fc.pages.end()) {
+    CachedPage cp;
+    // Read-for-write fill from the block store (or zeros for a hole).
+    if (auto blk = store_->read_block(ino, page)) {
+      cp.data = std::move(*blk);
+    } else {
+      cp.data.assign(kPageSize, std::byte{0});
+    }
+    it = fc.pages.emplace(page, std::move(cp)).first;
+  }
+  return it->second;
+}
+
+void Filesystem::write(InodeNum ino, std::uint64_t offset,
+                       std::span<const std::byte> data, std::uint64_t now_ns) {
+  auto it = inodes_.find(ino);
+  NLC_CHECK_MSG(it != inodes_.end(), "write to unknown inode");
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    std::uint64_t page = pos / kPageSize;
+    std::uint32_t in_page = static_cast<std::uint32_t>(pos % kPageSize);
+    std::uint64_t chunk =
+        std::min<std::uint64_t>(kPageSize - in_page, data.size() - consumed);
+    CachedPage& cp = cache_page(ino, page);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(consumed),
+              data.begin() + static_cast<std::ptrdiff_t>(consumed + chunk),
+              cp.data.begin() + in_page);
+    cp.dirty = true;
+    cp.dnc = true;
+    pos += chunk;
+    consumed += chunk;
+  }
+  it->second.size = std::max(it->second.size, offset + data.size());
+  it->second.mtime_ns = now_ns;
+  inode_dnc_[ino] = true;
+}
+
+std::vector<std::byte> Filesystem::read(InodeNum ino, std::uint64_t offset,
+                                        std::uint64_t len) const {
+  auto it = inodes_.find(ino);
+  NLC_CHECK_MSG(it != inodes_.end(), "read of unknown inode");
+  std::vector<std::byte> out(len, std::byte{0});
+  auto fcit = cache_.find(ino);
+  std::uint64_t pos = offset;
+  std::uint64_t produced = 0;
+  while (produced < len) {
+    std::uint64_t page = pos / kPageSize;
+    std::uint32_t in_page = static_cast<std::uint32_t>(pos % kPageSize);
+    std::uint64_t chunk = std::min<std::uint64_t>(kPageSize - in_page,
+                                                  len - produced);
+    const std::vector<std::byte>* src = nullptr;
+    std::optional<std::vector<std::byte>> blk;
+    if (fcit != cache_.end()) {
+      auto pit = fcit->second.pages.find(page);
+      if (pit != fcit->second.pages.end()) src = &pit->second.data;
+    }
+    if (src == nullptr) {
+      blk = store_->read_block(ino, page);
+      if (blk) src = &*blk;
+    }
+    if (src != nullptr) {
+      std::copy(src->begin() + in_page,
+                src->begin() + in_page + static_cast<std::ptrdiff_t>(chunk),
+                out.begin() + static_cast<std::ptrdiff_t>(produced));
+    }
+    pos += chunk;
+    produced += chunk;
+  }
+  return out;
+}
+
+std::uint64_t Filesystem::writeback(std::uint64_t max_pages) {
+  std::uint64_t flushed = 0;
+  for (auto& [ino, fc] : cache_) {
+    for (auto& [page, cp] : fc.pages) {
+      if (flushed >= max_pages) return flushed;
+      if (!cp.dirty) continue;
+      store_->write_block(ino, page, cp.data);
+      cp.dirty = false;
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+void Filesystem::sync_all() {
+  writeback(UINT64_MAX);
+}
+
+DncHarvest Filesystem::harvest_dnc() {
+  DncHarvest h;
+  for (auto& [ino, dnc] : inode_dnc_) {
+    if (!dnc) continue;
+    h.inodes.push_back(DncInodeEntry{inodes_.at(ino)});
+    dnc = false;
+  }
+  for (auto& [ino, fc] : cache_) {
+    for (auto& [page, cp] : fc.pages) {
+      if (!cp.dnc) continue;
+      h.pages.push_back(DncPageEntry{ino, page, cp.data});
+      cp.dnc = false;
+    }
+  }
+  return h;
+}
+
+void Filesystem::apply_dnc(const DncHarvest& h, std::uint64_t now_ns) {
+  for (const auto& ie : h.inodes) {
+    InodeNum ino = ie.attr.ino;
+    inodes_[ino] = ie.attr;
+    by_path_[ie.attr.path] = ino;
+    next_ino_ = std::max(next_ino_, ino + 1);
+    inode_dnc_[ino] = false;
+  }
+  for (const auto& pe : h.pages) {
+    // pwrite equivalent: land in the page cache, dirty for writeback but
+    // already checkpointed (DNC clear).
+    NLC_CHECK(pe.data.size() == kPageSize);
+    auto& fc = cache_[pe.ino];
+    CachedPage cp;
+    cp.data = pe.data;
+    cp.dirty = true;
+    cp.dnc = false;
+    fc.pages[pe.page_index] = std::move(cp);
+    auto it = inodes_.find(pe.ino);
+    NLC_CHECK_MSG(it != inodes_.end(), "DNC page for unknown inode");
+    it->second.mtime_ns = now_ns;
+  }
+}
+
+std::uint64_t Filesystem::dnc_page_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [ino, fc] : cache_) {
+    for (const auto& [page, cp] : fc.pages) n += cp.dnc ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t Filesystem::dirty_page_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [ino, fc] : cache_) {
+    for (const auto& [page, cp] : fc.pages) n += cp.dirty ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t Filesystem::cached_page_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [ino, fc] : cache_) n += fc.pages.size();
+  return n;
+}
+
+}  // namespace nlc::kern

@@ -1,0 +1,142 @@
+// Simulated filesystem with page cache, inode cache, and the paper's DNC
+// ("Dirty but Not Checkpointed") extension.
+//
+// Write path: write() lands in the page cache, marking the page dirty (for
+// eventual writeback to the block device) and DNC (for the next epoch's
+// checkpoint). A writeback daemon — or an explicit sync — flushes dirty
+// pages to the underlying Disk, which the DRBD layer replicates; flushing
+// clears dirty but NOT DNC. harvest_dnc() (the paper's fgetfc syscall)
+// returns all DNC page/inode entries and clears only the DNC bits.
+//
+// This separation is the crux of §III: the backup's view of a file is
+// (committed disk blocks) overlaid with (committed page-cache entries), so
+// a failover never needs a fsync on the primary's hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/ids.hpp"
+#include "util/bytes.hpp"
+
+namespace nlc::kern {
+
+struct InodeAttr {
+  InodeNum ino = 0;
+  std::string path;
+  std::uint64_t size = 0;
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t mtime_ns = 0;
+
+  bool operator==(const InodeAttr&) const = default;
+};
+
+/// One cached file page. `data` always holds kPageSize bytes.
+struct CachedPage {
+  std::vector<std::byte> data;
+  bool dirty = false;  // needs writeback to disk
+  bool dnc = false;    // dirty since the last checkpoint harvest
+};
+
+/// A harvested DNC page entry (what fgetfc returns / restore applies).
+struct DncPageEntry {
+  InodeNum ino = 0;
+  std::uint64_t page_index = 0;
+  std::vector<std::byte> data;
+};
+
+struct DncInodeEntry {
+  InodeAttr attr;
+};
+
+struct DncHarvest {
+  std::vector<DncInodeEntry> inodes;
+  std::vector<DncPageEntry> pages;
+
+  std::uint64_t byte_size() const {
+    return pages.size() * kPageSize + inodes.size() * 128;
+  }
+};
+
+/// Abstract block store the filesystem flushes to; implemented by
+/// blk::Disk / blk::Drbd. Addressed by (inode, page index).
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+  virtual void write_block(InodeNum ino, std::uint64_t page,
+                           std::span<const std::byte> data) = 0;
+  /// Returns empty optional when the block was never written.
+  virtual std::optional<std::vector<std::byte>> read_block(
+      InodeNum ino, std::uint64_t page) const = 0;
+};
+
+class Filesystem {
+ public:
+  explicit Filesystem(BlockStore& store) : store_(&store) {}
+  Filesystem(const Filesystem&) = delete;
+  Filesystem& operator=(const Filesystem&) = delete;
+
+  /// Creates (or truncates) a file; returns its inode number.
+  InodeNum create(const std::string& path, std::uint32_t mode = 0644);
+
+  /// Looks up a path; 0 when absent.
+  InodeNum lookup(const std::string& path) const;
+
+  const InodeAttr* attr(InodeNum ino) const;
+
+  /// chown/chmod-style attribute update; marks the inode DNC.
+  void set_attr(InodeNum ino, std::uint32_t uid, std::uint32_t gid,
+                std::uint32_t mode);
+
+  /// Writes through the page cache. Extends the file as needed.
+  void write(InodeNum ino, std::uint64_t offset,
+             std::span<const std::byte> data, std::uint64_t now_ns);
+
+  /// Reads through the page cache (falling back to disk blocks).
+  std::vector<std::byte> read(InodeNum ino, std::uint64_t offset,
+                              std::uint64_t len) const;
+
+  /// Flushes up to `max_pages` dirty pages to the block store (writeback
+  /// daemon step); clears their dirty bits, keeps DNC. Returns the number
+  /// flushed.
+  std::uint64_t writeback(std::uint64_t max_pages);
+
+  /// Flushes everything (fsync/umount).
+  void sync_all();
+
+  /// The fgetfc syscall: returns every DNC inode/page entry and clears the
+  /// DNC bits (the data stays dirty in the cache if not yet written back).
+  DncHarvest harvest_dnc();
+
+  /// Restore path: applies a harvested delta (pwrite + chown equivalents).
+  void apply_dnc(const DncHarvest& h, std::uint64_t now_ns);
+
+  /// Counts for the cost model / tests.
+  std::uint64_t dnc_page_count() const;
+  std::uint64_t dirty_page_count() const;
+  std::uint64_t cached_page_count() const;
+  std::uint64_t inode_count() const { return inodes_.size(); }
+
+ private:
+  struct FileCache {
+    std::map<std::uint64_t, CachedPage> pages;  // page index -> page
+  };
+
+  CachedPage& cache_page(InodeNum ino, std::uint64_t page);
+
+  BlockStore* store_;
+  std::unordered_map<std::string, InodeNum> by_path_;
+  std::map<InodeNum, InodeAttr> inodes_;
+  std::map<InodeNum, bool> inode_dnc_;
+  std::map<InodeNum, FileCache> cache_;
+  InodeNum next_ino_ = 100;
+};
+
+}  // namespace nlc::kern

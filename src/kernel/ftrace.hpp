@@ -1,0 +1,52 @@
+// Simulated ftrace: hook functions attached to named kernel entry points.
+//
+// NiLiCon's infrequently-modified-state cache (paper §V-B) registers hooks
+// on the kernel functions that can mutate namespaces, cgroups, mount
+// points, device files, and memory-mapped files. Every simulated-kernel
+// mutation path calls FtraceRegistry::emit with the matching function name,
+// exactly like the real module's trampoline invoking the hook after the
+// target function.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/ids.hpp"
+
+namespace nlc::kern {
+
+struct TraceEvent {
+  ContainerId container = kNoContainer;
+  Pid pid = 0;
+  std::string detail;
+};
+
+class FtraceRegistry {
+ public:
+  using Hook = std::function<void(const TraceEvent&)>;
+
+  /// Attaches `hook` to kernel function `fn` ("do_mount", "setns", ...).
+  void attach(std::string fn, Hook hook) {
+    hooks_[std::move(fn)].push_back(std::move(hook));
+  }
+
+  /// Detaches all hooks from `fn` (module unload).
+  void detach_all(const std::string& fn) { hooks_.erase(fn); }
+
+  /// Invoked by kernel mutation paths after the target function ran.
+  void emit(std::string_view fn, const TraceEvent& ev) const {
+    auto it = hooks_.find(std::string(fn));
+    if (it == hooks_.end()) return;
+    for (const auto& h : it->second) h(ev);
+  }
+
+  bool has_hooks(const std::string& fn) const { return hooks_.contains(fn); }
+
+ private:
+  std::unordered_map<std::string, std::vector<Hook>> hooks_;
+};
+
+}  // namespace nlc::kern

@@ -1,0 +1,22 @@
+// Identifier types shared across the simulated kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace nlc::kern {
+
+using Pid = std::int32_t;
+using Tid = std::int32_t;
+using ContainerId = std::int32_t;
+using InodeNum = std::uint64_t;
+using Fd = std::int32_t;
+
+/// Sockets live in the net module; the kernel references them by id only.
+using SocketId = std::uint64_t;
+
+/// Absolute page number within a host's simulated physical memory.
+using PageNum = std::uint64_t;
+
+inline constexpr ContainerId kNoContainer = -1;
+
+}  // namespace nlc::kern

@@ -1,0 +1,279 @@
+#include "kernel/kernel.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nlc::kern {
+
+Kernel::Kernel(sim::Simulation& s, sim::DomainPtr domain,
+               std::string hostname, BlockStore& store)
+    : sim_(&s), domain_(std::move(domain)), hostname_(std::move(hostname)),
+      fs_(store) {}
+
+Container& Kernel::container_ref(ContainerId cid) {
+  auto it = containers_.find(cid);
+  NLC_CHECK_MSG(it != containers_.end(), "unknown container");
+  return *it->second;
+}
+
+Container& Kernel::create_container(const std::string& name) {
+  ContainerId cid = next_cid_++;
+  auto c = std::make_unique<Container>(cid, name, *sim_, domain_);
+
+  // Full namespace set, as runC creates.
+  for (int t = 0; t < kNamespaceTypeCount; ++t) {
+    Namespace ns;
+    ns.type = static_cast<NamespaceType>(t);
+    ns.ns_id = next_ns_id_++;
+    // The net namespace carries the most kernel-side configuration
+    // (interfaces, routes, qdiscs); see §II's 100ms namespace collection.
+    ns.config_bytes = ns.type == NamespaceType::kNet ? 4096 : 256;
+    if (ns.type == NamespaceType::kNet) c->set_net_ns_id(ns.ns_id);
+    c->namespaces().push_back(ns);
+  }
+  c->cgroup().path = "/sys/fs/cgroup/nilicon/" + name;
+
+  // Standard runC rootfs mounts and device files.
+  c->mounts().push_back({"rootfs", "/", "overlay", 0});
+  c->mounts().push_back({"proc", "/proc", "proc", 0});
+  c->mounts().push_back({"tmpfs", "/dev", "tmpfs", 0});
+  c->mounts().push_back({"sysfs", "/sys", "sysfs", 0});
+  c->mounts().push_back({"cgroup", "/sys/fs/cgroup", "cgroup2", 0});
+  c->devices().push_back({"/dev/null", 1, 3});
+  c->devices().push_back({"/dev/zero", 1, 5});
+  c->devices().push_back({"/dev/random", 1, 8});
+  c->devices().push_back({"/dev/urandom", 1, 9});
+  c->devices().push_back({"/dev/tty", 5, 0});
+
+  Container& ref = *c;
+  containers_[cid] = std::move(c);
+  ftrace_.emit("create_new_namespaces", {cid, 0, "container create"});
+  return ref;
+}
+
+Container& Kernel::install_container(ContainerId id, const std::string& name) {
+  NLC_CHECK_MSG(!containers_.contains(id), "container id already in use");
+  auto c = std::make_unique<Container>(id, name, *sim_, domain_);
+  Container& ref = *c;
+  containers_[id] = std::move(c);
+  next_cid_ = std::max(next_cid_, id + 1);
+  return ref;
+}
+
+void Kernel::destroy_container(ContainerId id) {
+  auto it = containers_.find(id);
+  NLC_CHECK_MSG(it != containers_.end(), "destroying unknown container");
+  for (Pid pid : it->second->pids()) processes_.erase(pid);
+  containers_.erase(it);
+}
+
+Container* Kernel::container(ContainerId id) {
+  auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : it->second.get();
+}
+
+const Container* Kernel::container(ContainerId id) const {
+  auto it = containers_.find(id);
+  return it == containers_.end() ? nullptr : it->second.get();
+}
+
+Process& Kernel::create_process(ContainerId cid, std::string comm) {
+  Container& c = container_ref(cid);
+  Pid pid = next_pid_++;
+  auto p = std::make_unique<Process>(pid, cid);
+  p->comm = std::move(comm);
+  p->mm().set_page_base(static_cast<PageNum>(pid) << 24);
+  Thread& main = p->add_thread(next_tid_++);
+  main.regs.rip = 0x400000 + static_cast<std::uint64_t>(pid);
+  c.pids().push_back(pid);
+  Process& ref = *p;
+  processes_[pid] = std::move(p);
+  return ref;
+}
+
+Process& Kernel::install_process(ContainerId cid, Pid pid, std::string comm) {
+  NLC_CHECK_MSG(!processes_.contains(pid), "pid already in use");
+  Container& c = container_ref(cid);
+  auto p = std::make_unique<Process>(pid, cid);
+  p->comm = std::move(comm);
+  p->mm().set_page_base(static_cast<PageNum>(pid) << 24);
+  c.pids().push_back(pid);
+  next_pid_ = std::max(next_pid_, pid + 1);
+  Process& ref = *p;
+  processes_[pid] = std::move(p);
+  return ref;
+}
+
+void Kernel::destroy_process(Pid pid) {
+  auto it = processes_.find(pid);
+  NLC_CHECK_MSG(it != processes_.end(), "destroying unknown process");
+  if (Container* c = container(it->second->container())) {
+    std::erase(c->pids(), pid);
+  }
+  processes_.erase(it);
+}
+
+Process* Kernel::process(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+const Process* Kernel::process(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Process*> Kernel::container_processes(ContainerId cid) {
+  std::vector<Process*> out;
+  if (Container* c = container(cid)) {
+    for (Pid pid : c->pids()) out.push_back(process(pid));
+  }
+  return out;
+}
+
+std::vector<const Process*> Kernel::container_processes(
+    ContainerId cid) const {
+  std::vector<const Process*> out;
+  if (const Container* c = container(cid)) {
+    for (Pid pid : c->pids()) out.push_back(process(pid));
+  }
+  return out;
+}
+
+Thread& Kernel::create_thread(Pid pid) {
+  Process* p = process(pid);
+  NLC_CHECK_MSG(p != nullptr, "thread for unknown process");
+  Thread& t = p->add_thread(next_tid_++);
+  t.regs.rip = 0x400000 + static_cast<std::uint64_t>(t.tid);
+  return t;
+}
+
+void Kernel::freeze_container(ContainerId cid) {
+  Container& c = container_ref(cid);
+  if (c.frozen()) return;
+  c.set_frozen(true);
+  c.cpu().freeze();
+  for (Pid pid : c.pids()) {
+    if (Process* p = process(pid)) {
+      for (Thread& t : p->threads()) {
+        t.frozen = true;
+        t.in_syscall = false;  // the virtual signal forced syscall return
+      }
+    }
+  }
+}
+
+void Kernel::thaw_container(ContainerId cid) {
+  Container& c = container_ref(cid);
+  if (!c.frozen()) return;
+  c.set_frozen(false);
+  for (Pid pid : c.pids()) {
+    if (Process* p = process(pid)) {
+      for (Thread& t : p->threads()) t.frozen = false;
+    }
+  }
+  c.cpu().unfreeze();
+}
+
+void Kernel::do_mount(ContainerId cid, Mount m) {
+  Container& c = container_ref(cid);
+  c.mounts().push_back(std::move(m));
+  c.bump_infrequent_version();
+  ftrace_.emit("do_mount", {cid, 0, c.mounts().back().target});
+}
+
+void Kernel::do_umount(ContainerId cid, const std::string& target) {
+  Container& c = container_ref(cid);
+  std::erase_if(c.mounts(),
+                [&](const Mount& m) { return m.target == target; });
+  c.bump_infrequent_version();
+  ftrace_.emit("do_umount", {cid, 0, target});
+}
+
+void Kernel::setns_config(ContainerId cid, NamespaceType type,
+                          std::uint64_t config_bytes) {
+  Container& c = container_ref(cid);
+  for (Namespace& ns : c.namespaces()) {
+    if (ns.type == type) {
+      ns.config_bytes = config_bytes;
+      ++ns.version;
+      c.bump_infrequent_version();
+      ftrace_.emit("setns", {cid, 0, "namespace reconfigure"});
+      return;
+    }
+  }
+  NLC_CHECK_MSG(false, "container lacks the requested namespace");
+}
+
+void Kernel::cgroup_modify(ContainerId cid, std::uint64_t cpu_quota_us,
+                           std::uint64_t mem_limit_bytes) {
+  Container& c = container_ref(cid);
+  c.cgroup().cpu_quota_us = cpu_quota_us;
+  c.cgroup().mem_limit_bytes = mem_limit_bytes;
+  ++c.cgroup().version;
+  c.bump_infrequent_version();
+  ftrace_.emit("cgroup_attach_task", {cid, 0, "cgroup modify"});
+}
+
+void Kernel::mknod(ContainerId cid, DeviceFile dev) {
+  Container& c = container_ref(cid);
+  c.devices().push_back(std::move(dev));
+  c.bump_infrequent_version();
+  ftrace_.emit("mknod", {cid, 0, c.devices().back().path});
+}
+
+Vma Kernel::mmap_file(Pid pid, std::uint64_t npages, std::string file) {
+  Process* p = process(pid);
+  NLC_CHECK_MSG(p != nullptr, "mmap for unknown process");
+  const Vma& v = p->mm().map(npages, VmaKind::kFileMap, std::move(file));
+  if (Container* c = container(p->container())) {
+    c->bump_infrequent_version();
+  }
+  ftrace_.emit("mmap_region", {p->container(), pid, v.backing_file});
+  return v;
+}
+
+std::uint64_t Kernel::total_threads(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) n += p->threads().size();
+  return n;
+}
+
+std::uint64_t Kernel::total_fds(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) n += p->fds().size();
+  return n;
+}
+
+std::uint64_t Kernel::total_sockets(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) {
+    for (const auto& [fd, e] : p->fds()) n += e.kind == FdKind::kSocket;
+  }
+  return n;
+}
+
+std::uint64_t Kernel::total_vmas(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) n += p->mm().vmas().size();
+  return n;
+}
+
+std::uint64_t Kernel::total_mapped_pages(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) {
+    n += p->mm().mapped_pages();
+  }
+  return n;
+}
+
+std::uint64_t Kernel::total_file_mappings(ContainerId cid) const {
+  std::uint64_t n = 0;
+  for (const Process* p : container_processes(cid)) {
+    for (const Vma& v : p->mm().vmas()) n += v.kind == VmaKind::kFileMap;
+  }
+  return n;
+}
+
+}  // namespace nlc::kern

@@ -1,0 +1,109 @@
+// Simulated processes, threads and file-descriptor tables.
+//
+// These carry exactly the state CRIU must harvest: per-thread register
+// blobs, signal masks and scheduling policies (retrieved via ptrace /
+// parasite), per-process fd tables (files, sockets, pipes, devices), and
+// the address space. Collection *costs* are charged by the checkpoint
+// engine from the cost model; this module only stores the state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/address_space.hpp"
+#include "kernel/ids.hpp"
+
+namespace nlc::kern {
+
+/// Opaque register file; contents are stamped so checkpoint/restore
+/// round-trips are verifiable.
+struct Registers {
+  std::array<std::uint64_t, 16> gpr{};
+  std::uint64_t rip = 0;
+  std::uint64_t rsp = 0;
+
+  bool operator==(const Registers&) const = default;
+};
+
+enum class SchedPolicy : std::uint8_t { kOther, kFifo, kRoundRobin };
+
+struct Thread {
+  Tid tid = 0;
+  Registers regs;
+  std::uint64_t sigmask = 0;
+  SchedPolicy policy = SchedPolicy::kOther;
+  int priority = 0;
+  bool frozen = false;
+  /// True while the thread is inside a (simulated) system call; the freezer
+  /// must force such threads out before the state is stable (§II-B).
+  bool in_syscall = false;
+};
+
+enum class FdKind : std::uint8_t { kFile, kSocket, kPipe, kDevice, kEventFd };
+
+struct FdEntry {
+  FdKind kind = FdKind::kFile;
+  InodeNum inode = 0;     // kFile
+  std::uint64_t offset = 0;
+  SocketId socket = 0;    // kSocket
+  std::string device;     // kDevice
+  std::uint32_t flags = 0;
+
+  bool operator==(const FdEntry&) const = default;
+};
+
+class Process {
+ public:
+  Process(Pid pid, ContainerId cid) : pid_(pid), container_(cid) {}
+
+  Pid pid() const { return pid_; }
+  ContainerId container() const { return container_; }
+
+  Thread& add_thread(Tid tid) {
+    threads_.push_back(Thread{.tid = tid});
+    return threads_.back();
+  }
+  std::vector<Thread>& threads() { return threads_; }
+  const std::vector<Thread>& threads() const { return threads_; }
+
+  AddressSpace& mm() { return mm_; }
+  const AddressSpace& mm() const { return mm_; }
+
+  Fd install_fd(FdEntry e) {
+    Fd fd = next_fd_++;
+    fds_[fd] = std::move(e);
+    return fd;
+  }
+  void install_fd_at(Fd fd, FdEntry e) {
+    fds_[fd] = std::move(e);
+    if (fd >= next_fd_) next_fd_ = fd + 1;
+  }
+  void close_fd(Fd fd) { fds_.erase(fd); }
+  const FdEntry* fd(Fd fd) const {
+    auto it = fds_.find(fd);
+    return it == fds_.end() ? nullptr : &it->second;
+  }
+  FdEntry* fd(Fd fd) {
+    auto it = fds_.find(fd);
+    return it == fds_.end() ? nullptr : &it->second;
+  }
+  const std::map<Fd, FdEntry>& fds() const { return fds_; }
+
+  std::uint64_t sigmask = 0;
+  int pending_timers = 0;
+  std::string comm;  // executable name, for diagnostics
+
+ private:
+  Pid pid_;
+  ContainerId container_;
+  std::vector<Thread> threads_;
+  AddressSpace mm_;
+  std::map<Fd, FdEntry> fds_;
+  Fd next_fd_ = 3;  // 0..2 reserved, as usual
+};
+
+}  // namespace nlc::kern

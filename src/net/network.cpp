@@ -1,0 +1,65 @@
+#include "net/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace nlc::net {
+
+HostId Network::add_host(std::string name, sim::DomainPtr domain) {
+  HostId id = next_host_++;
+  hosts_[id] = HostRec{std::move(name), std::move(domain)};
+  return id;
+}
+
+void Network::add_link(HostId a, HostId b, double bits_per_second,
+                       Time latency) {
+  NLC_CHECK(hosts_.contains(a) && hosts_.contains(b));
+  links_[{a, b}] = std::make_unique<Link>(*sim_, bits_per_second, latency);
+  links_[{b, a}] = std::make_unique<Link>(*sim_, bits_per_second, latency);
+}
+
+void Network::bind_ip(IpAddr ip, HostId host, PacketSink* sink) {
+  NLC_CHECK(hosts_.contains(host));
+  NLC_CHECK(sink != nullptr);
+  bindings_[ip] = Binding{host, sink};
+}
+
+void Network::unbind_ip(IpAddr ip) { bindings_.erase(ip); }
+
+HostId Network::ip_host(IpAddr ip) const {
+  auto it = bindings_.find(ip);
+  return it == bindings_.end() ? -1 : it->second.host;
+}
+
+Link* Network::link_between(HostId a, HostId b) {
+  auto it = links_.find({a, b});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+void Network::transmit(IpAddr src_ip, const Packet& p) {
+  auto src = bindings_.find(src_ip);
+  NLC_CHECK_MSG(src != bindings_.end(), "transmit from unbound IP");
+  auto dst = bindings_.find(p.dst.ip);
+  if (dst == bindings_.end()) {
+    ++packets_blackholed_;
+    return;
+  }
+  if (src->second.host == dst->second.host) {
+    // Loopback / same-host veth: deliver at the next event boundary with
+    // no serialization cost.
+    PacketSink* sink = dst->second.sink;
+    Packet copy = p;
+    sim_->call_after(0, hosts_.at(dst->second.host).domain,
+                     [sink, copy] { sink->deliver(copy); });
+    ++packets_sent_;
+    return;
+  }
+  Link* link = link_between(src->second.host, dst->second.host);
+  NLC_CHECK_MSG(link != nullptr, "no link between hosts");
+  PacketSink* sink = dst->second.sink;
+  Packet copy = p;
+  link->transmit(p.wire_bytes(), hosts_.at(dst->second.host).domain,
+                 [sink, copy] { sink->deliver(copy); });
+  ++packets_sent_;
+}
+
+}  // namespace nlc::net

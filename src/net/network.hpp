@@ -1,0 +1,75 @@
+// The physical network fabric: hosts, links, and IP->host binding (the
+// switch's forwarding table, updated by gratuitous ARP on failover).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/link.hpp"
+#include "net/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace nlc::net {
+
+using HostId = std::int32_t;
+
+/// Receives packets addressed to IPs bound to its host (a TcpStack).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(const Packet& p) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& s) : sim_(&s) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  HostId add_host(std::string name, sim::DomainPtr domain);
+
+  /// Full-duplex link between two hosts (one Link per direction so
+  /// opposing traffic does not contend, as on real Ethernet).
+  void add_link(HostId a, HostId b, double bits_per_second, Time latency);
+
+  /// Binds an IP to a host; packets to `ip` are handed to `sink`.
+  /// Rebinding an already-bound IP models gratuitous ARP moving a
+  /// container's address to the backup host.
+  void bind_ip(IpAddr ip, HostId host, PacketSink* sink);
+  void unbind_ip(IpAddr ip);
+  /// Host currently answering for `ip`, or -1.
+  HostId ip_host(IpAddr ip) const;
+
+  /// Sends `p` from the host owning `src_ip`. Unbound destinations are
+  /// silently blackholed (like a switch with no forwarding entry).
+  void transmit(IpAddr src_ip, const Packet& p);
+
+  /// Statistics for tests.
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_blackholed() const { return packets_blackholed_; }
+
+  Link* link_between(HostId a, HostId b);
+
+ private:
+  struct HostRec {
+    std::string name;
+    sim::DomainPtr domain;
+  };
+  struct Binding {
+    HostId host;
+    PacketSink* sink;
+  };
+
+  sim::Simulation* sim_;
+  std::map<HostId, HostRec> hosts_;
+  std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
+  std::map<IpAddr, Binding> bindings_;
+  HostId next_host_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_blackholed_ = 0;
+};
+
+}  // namespace nlc::net

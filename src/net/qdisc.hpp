@@ -1,0 +1,144 @@
+// sch_plug-style queueing disciplines (paper §II-A, §IV, §V-C).
+//
+// PlugQdisc — egress output commit. While engaged, every outgoing packet
+// of the protected container is buffered. At each epoch boundary the agent
+// inserts a marker; when the backup acknowledges the epoch's state, the
+// agent releases every packet buffered before that marker. Packets after
+// the marker stay held: they belong to the next, uncommitted epoch.
+//
+// IngressFilter — input blocking during the pause. Three modes:
+//   kPass   — normal operation;
+//   kBuffer — NiLiCon's optimization (§V-C): hold packets, release on
+//             unblock (43 us extra delay instead of drops);
+//   kDrop   — stock CRIU behaviour via firewall rules: silently drop,
+//             forcing TCP retransmission (up to 3 s for connection setup).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/types.hpp"
+#include "util/assert.hpp"
+
+namespace nlc::net {
+
+class PlugQdisc {
+ public:
+  using TransmitFn = std::function<void(const Packet&)>;
+
+  explicit PlugQdisc(TransmitFn transmit)
+      : transmit_(std::move(transmit)) {}
+
+  /// When disengaged (stock execution, no replication) packets pass
+  /// straight through.
+  void engage() { engaged_ = true; }
+  bool engaged() const { return engaged_; }
+
+  void enqueue(const Packet& p) {
+    if (!engaged_) {
+      transmit_(p);
+      return;
+    }
+    buffer_.push_back(Entry{p, false});
+    ++buffered_total_;
+  }
+
+  /// Marks the current epoch boundary; returns a marker id.
+  std::uint64_t insert_marker() {
+    buffer_.push_back(Entry{{}, true, next_marker_});
+    return next_marker_++;
+  }
+
+  /// Releases (transmits, in order) everything buffered before `marker`.
+  /// Markers must be released in order.
+  void release_to_marker(std::uint64_t marker) {
+    while (!buffer_.empty()) {
+      Entry e = std::move(buffer_.front());
+      buffer_.pop_front();
+      if (e.is_marker) {
+        NLC_CHECK_MSG(e.marker_id <= marker, "marker released out of order");
+        if (e.marker_id == marker) return;
+        continue;
+      }
+      transmit_(e.packet);
+      ++released_total_;
+    }
+    NLC_CHECK_MSG(false, "marker not found in plug buffer");
+  }
+
+  /// Failover: uncommitted output must never reach the client.
+  void discard_all() { buffer_.clear(); }
+
+  std::size_t pending_packets() const {
+    std::size_t n = 0;
+    for (const auto& e : buffer_) n += e.is_marker ? 0 : 1;
+    return n;
+  }
+  std::uint64_t buffered_total() const { return buffered_total_; }
+  std::uint64_t released_total() const { return released_total_; }
+
+ private:
+  struct Entry {
+    Packet packet;
+    bool is_marker = false;
+    std::uint64_t marker_id = 0;
+  };
+
+  TransmitFn transmit_;
+  bool engaged_ = false;
+  std::deque<Entry> buffer_;
+  std::uint64_t next_marker_ = 1;
+  std::uint64_t buffered_total_ = 0;
+  std::uint64_t released_total_ = 0;
+};
+
+class IngressFilter {
+ public:
+  enum class Mode : std::uint8_t { kPass, kBuffer, kDrop };
+
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  explicit IngressFilter(DeliverFn deliver) : deliver_(std::move(deliver)) {}
+
+  Mode mode() const { return mode_; }
+
+  void set_mode(Mode m) {
+    Mode prev = mode_;
+    mode_ = m;
+    if (prev == Mode::kBuffer && m == Mode::kPass) flush();
+  }
+
+  void input(const Packet& p) {
+    switch (mode_) {
+      case Mode::kPass:
+        deliver_(p);
+        return;
+      case Mode::kBuffer:
+        held_.push_back(p);
+        return;
+      case Mode::kDrop:
+        ++dropped_total_;
+        return;
+    }
+  }
+
+  std::size_t held_packets() const { return held_.size(); }
+  std::uint64_t dropped_total() const { return dropped_total_; }
+
+ private:
+  void flush() {
+    // Deliver in arrival order; delivery may re-enter input() only in
+    // kPass mode, which appends nothing to held_.
+    std::deque<Packet> batch;
+    batch.swap(held_);
+    for (const auto& p : batch) deliver_(p);
+  }
+
+  DeliverFn deliver_;
+  Mode mode_ = Mode::kPass;
+  std::deque<Packet> held_;
+  std::uint64_t dropped_total_ = 0;
+};
+
+}  // namespace nlc::net

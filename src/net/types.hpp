@@ -1,0 +1,64 @@
+// Addressing and packet types for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nlc::net {
+
+/// IPv4-style address, opaque integer.
+using IpAddr = std::uint32_t;
+using Port = std::uint16_t;
+
+struct Endpoint {
+  IpAddr ip = 0;
+  Port port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+enum class TcpFlag : std::uint8_t {
+  kSyn,
+  kSynAck,
+  kAck,     // pure ACK
+  kData,    // data segment (carries an implicit ACK of rcv_nxt)
+  kRst,
+  kFin,
+};
+
+inline const char* flag_name(TcpFlag f) {
+  switch (f) {
+    case TcpFlag::kSyn: return "SYN";
+    case TcpFlag::kSynAck: return "SYNACK";
+    case TcpFlag::kAck: return "ACK";
+    case TcpFlag::kData: return "DATA";
+    case TcpFlag::kRst: return "RST";
+    case TcpFlag::kFin: return "FIN";
+  }
+  return "?";
+}
+
+/// Ethernet+IP+TCP framing overhead charged per packet on the wire.
+inline constexpr std::uint32_t kFrameOverhead = 66;
+
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  TcpFlag flag = TcpFlag::kData;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint32_t len = 0;  // payload bytes (0 for control packets)
+  /// Application-level marker used by validation clients to match
+  /// requests and responses; checkpointed with the segment.
+  std::uint64_t tag = 0;
+  /// Optional real payload bytes (validation traffic); shared so that
+  /// retransmissions and checkpoints alias rather than copy.
+  std::shared_ptr<const std::vector<std::byte>> payload;
+
+  std::uint32_t wire_bytes() const { return len + kFrameOverhead; }
+};
+
+}  // namespace nlc::net

@@ -1,0 +1,141 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace nlc::sim {
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() { shutdown(); }
+
+TimerHandle Simulation::call_at(Time t, DomainPtr domain,
+                                std::function<void()> fn) {
+  NLC_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  auto state = std::make_shared<TimerHandle::State>();
+  state->fn = std::move(fn);
+  state->domain = std::move(domain);
+  queue_.push(QueueEntry{t, next_seq_++, state});
+  return TimerHandle(state);
+}
+
+TimerHandle Simulation::call_after(Time delay, DomainPtr domain,
+                                   std::function<void()> fn) {
+  NLC_CHECK_MSG(delay >= 0, "negative delay");
+  return call_at(now_ + delay, std::move(domain), std::move(fn));
+}
+
+void Simulation::schedule_resume(Time t, DomainPtr domain,
+                                 std::coroutine_handle<> h) {
+  call_at(t, std::move(domain), [h] { h.resume(); });
+}
+
+Simulation::RootDriver Simulation::drive(task<> t) {
+  auto self = co_await SelfHandle{};
+  register_root(self);
+  // Ensure deregistration on every exit path, including frame destruction
+  // during shutdown() while this driver is suspended inside `t`.
+  struct Guard {
+    Simulation* sim;
+    std::coroutine_handle<> h;
+    ~Guard() { sim->unregister_root(h); }
+  } guard{this, self};
+
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    record_exception(std::current_exception());
+  }
+}
+
+void Simulation::spawn(DomainPtr domain, task<> t) {
+  NLC_CHECK_MSG(t.valid(), "spawning an empty task");
+  if (domain && !domain->alive()) return;  // code on a dead host never runs
+  DomainPtr saved = std::exchange(current_domain_, std::move(domain));
+  drive(std::move(t));  // runs eagerly until the first suspension
+  current_domain_ = std::move(saved);
+}
+
+void Simulation::register_root(std::coroutine_handle<> h) {
+  live_roots_.insert(h.address());
+}
+
+void Simulation::unregister_root(std::coroutine_handle<> h) {
+  if (tearing_down_) return;  // container is being drained by shutdown()
+  live_roots_.erase(h.address());
+}
+
+void Simulation::record_exception(std::exception_ptr e) {
+  if (!pending_exception_) pending_exception_ = std::move(e);
+  stop_requested_ = true;
+}
+
+void Simulation::rethrow_if_failed() {
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+bool Simulation::dispatch(const QueueEntry& entry) {
+  auto& state = *entry.state;
+  if (state.cancelled) return false;
+  if (state.domain && !state.domain->alive()) return false;
+  state.fired = true;
+  ++events_processed_;
+  DomainPtr saved = std::exchange(current_domain_, state.domain);
+  state.fn();
+  current_domain_ = std::move(saved);
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    NLC_CHECK(entry.time >= now_);
+    now_ = entry.time;
+    if (dispatch(entry)) return true;
+    // cancelled / dead-domain entries are skipped without counting
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stop_requested_ = false;
+  rethrow_if_failed();
+  while (!stop_requested_ && step()) {
+  }
+  rethrow_if_failed();
+}
+
+void Simulation::run_until(Time deadline) {
+  NLC_CHECK(deadline >= now_);
+  stop_requested_ = false;
+  rethrow_if_failed();
+  while (!stop_requested_ && !queue_.empty() &&
+         queue_.top().time <= deadline) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.time;
+    dispatch(entry);
+  }
+  rethrow_if_failed();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::shutdown() {
+  if (tearing_down_) return;
+  tearing_down_ = true;
+  // Destroy suspended root frames. Destruction recursively destroys child
+  // task frames and runs awaiter destructors, which deregister from sync
+  // primitives (all still alive at this point by the documented ownership
+  // convention: Simulation members are declared before the components its
+  // coroutines reference, or shutdown() is called explicitly first).
+  auto roots = std::move(live_roots_);
+  live_roots_.clear();
+  for (void* addr : roots) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+}  // namespace nlc::sim

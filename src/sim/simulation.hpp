@@ -1,0 +1,204 @@
+// Deterministic discrete-event simulation kernel.
+//
+// One Simulation instance models a whole distributed deployment (primary
+// host, backup host, client host, links). Components schedule callbacks at
+// simulated times and run coroutines (`task<>`) whose awaitables suspend
+// until a later simulated time or until signalled by another component.
+//
+// Failure domains: every scheduled wakeup may be tagged with a Domain.
+// Killing a Domain (fail-stop host crash) silently discards all of its
+// pending and future wakeups, freezing that host's coroutines exactly the
+// way a crashed machine freezes its threads. Untagged events (the "wire",
+// surviving hosts) keep running.
+//
+// Determinism: events with equal timestamps fire in scheduling order (FIFO
+// by a monotone sequence number). There is no wall-clock or address-based
+// ordering anywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace nlc::sim {
+
+class Simulation;
+
+/// A fail-stop failure domain (typically: one host). All coroutine wakeups
+/// and timers belonging to a dead domain are discarded.
+class Domain {
+ public:
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_; }
+  /// Fail-stop kill: no code of this domain runs after this call.
+  void kill() { alive_ = false; }
+  /// Used by tests that restart a domain between trials.
+  void revive() { alive_ = true; }
+
+ private:
+  std::string name_;
+  bool alive_ = true;
+};
+
+using DomainPtr = std::shared_ptr<Domain>;
+
+/// Handle to a scheduled callback; allows cancellation.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+  bool active() const {
+    auto s = state_.lock();
+    return s && !s->cancelled && !s->fired;
+  }
+
+ private:
+  friend class Simulation;
+  struct State {
+    std::function<void()> fn;
+    DomainPtr domain;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::weak_ptr<State> s) : state_(std::move(s)) {}
+  std::weak_ptr<State> state_;
+};
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= now). A null domain
+  /// means the callback always runs; otherwise it is discarded if the
+  /// domain is dead when the time arrives.
+  TimerHandle call_at(Time t, DomainPtr domain, std::function<void()> fn);
+  TimerHandle call_after(Time delay, DomainPtr domain,
+                         std::function<void()> fn);
+  TimerHandle call_at(Time t, std::function<void()> fn) {
+    return call_at(t, nullptr, std::move(fn));
+  }
+  TimerHandle call_after(Time delay, std::function<void()> fn) {
+    return call_after(delay, nullptr, std::move(fn));
+  }
+
+  /// Starts a root coroutine, associated with `domain` (may be null).
+  /// The coroutine runs synchronously up to its first suspension point.
+  void spawn(DomainPtr domain, task<> t);
+  void spawn(task<> t) { spawn(nullptr, std::move(t)); }
+
+  /// Runs events until the queue is empty or a stop is requested.
+  /// Rethrows the first exception that escaped a spawned coroutine.
+  void run();
+  /// Runs events with time <= `deadline`; afterwards now() == deadline
+  /// unless the queue drained earlier or a coroutine failed.
+  void run_until(Time deadline);
+  /// Processes a single event; returns false if the queue is empty.
+  bool step();
+  /// Requests run()/run_until() to return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Awaitable: suspend the calling coroutine for `delay` of simulated time.
+  /// The wakeup inherits the coroutine's current domain.
+  auto sleep_for(Time delay) { return SleepAwaiter{this, now_ + delay}; }
+  auto sleep_until(Time t) { return SleepAwaiter{this, t}; }
+
+  /// Domain of the coroutine/callback currently executing (null outside).
+  const DomainPtr& current_domain() const { return current_domain_; }
+
+  /// Schedules a coroutine wakeup at `t` under `domain`. Used by the sync
+  /// primitives; prefer those in application code.
+  void schedule_resume(Time t, DomainPtr domain, std::coroutine_handle<> h);
+
+  /// Destroys all still-live root coroutine frames. Must be called (or the
+  /// destructor will call it) before the components the coroutines
+  /// reference are destroyed.
+  void shutdown();
+
+  bool tearing_down() const { return tearing_down_; }
+
+  /// Number of events processed since construction (for tests/diagnostics).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct QueueEntry {
+    Time time;
+    std::uint64_t seq;
+    std::shared_ptr<TimerHandle::State> state;
+
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  struct SleepAwaiter {
+    Simulation* sim;
+    Time wake_time;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_resume(wake_time, sim->current_domain(), h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Root-coroutine driver: runs eagerly, self-destroys on completion.
+  struct RootDriver {
+    struct promise_type {
+      RootDriver get_return_object() { return {}; }
+      std::suspend_never initial_suspend() noexcept { return {}; }
+      std::suspend_never final_suspend() noexcept { return {}; }
+      void return_void() noexcept {}
+      void unhandled_exception() noexcept { std::terminate(); }
+    };
+  };
+  RootDriver drive(task<> t);
+
+  struct SelfHandle {
+    std::coroutine_handle<> h;
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> hh) noexcept {
+      h = hh;
+      return false;  // do not actually suspend; we only want the handle
+    }
+    std::coroutine_handle<> await_resume() const noexcept { return h; }
+  };
+
+  void register_root(std::coroutine_handle<> h);
+  void unregister_root(std::coroutine_handle<> h);
+  void record_exception(std::exception_ptr e);
+  void rethrow_if_failed();
+  bool dispatch(const QueueEntry& entry);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  bool tearing_down_ = false;
+  DomainPtr current_domain_;
+  std::exception_ptr pending_exception_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_set<void*> live_roots_;
+};
+
+}  // namespace nlc::sim

@@ -1,0 +1,133 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// `task<T>` is a lazy coroutine: creating one does not run any code; it
+// starts when awaited (symmetric transfer) or when handed to
+// Simulation::spawn(). Exceptions thrown inside a task propagate to the
+// awaiter; exceptions escaping a spawned root task are captured by the
+// simulator and rethrown from Simulation::run().
+//
+// Ownership: the task object owns the coroutine frame. Destroying a task
+// destroys the frame even if it is suspended, which recursively destroys
+// any child task frames it owns — this is how the simulator tears down
+// coroutines that were frozen by a host failure.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace nlc::sim {
+
+template <typename T = void>
+class task;
+
+namespace detail {
+
+template <typename T>
+struct PromiseStorage {
+  std::variant<std::monostate, T, std::exception_ptr> result;
+
+  template <typename U>
+  void return_value(U&& v) {
+    result.template emplace<1>(std::forward<U>(v));
+  }
+  void unhandled_exception() noexcept {
+    result.template emplace<2>(std::current_exception());
+  }
+  T take_result() {
+    if (result.index() == 2) std::rethrow_exception(std::get<2>(result));
+    NLC_CHECK_MSG(result.index() == 1, "task finished without a value");
+    return std::move(std::get<1>(result));
+  }
+};
+
+template <>
+struct PromiseStorage<void> {
+  std::exception_ptr error;
+
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+  void take_result() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] task {
+ public:
+  struct promise_type : detail::PromiseStorage<T> {
+    std::coroutine_handle<> continuation;
+
+    task get_return_object() {
+      return task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    detail::FinalAwaiter final_suspend() noexcept { return {}; }
+  };
+
+  task() = default;
+  task(task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  task& operator=(task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  task(const task&) = delete;
+  task& operator=(const task&) = delete;
+  ~task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+
+  /// Awaiting a task starts it; the awaiter resumes when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer: run the child now
+      }
+      T await_resume() { return h.promise().take_result(); }
+    };
+    NLC_CHECK_MSG(handle_, "awaiting an empty task");
+    return Awaiter{handle_};
+  }
+
+  /// Internal: used by Simulation::spawn to take over the frame.
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace nlc::sim

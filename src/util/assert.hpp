@@ -1,0 +1,42 @@
+// Lightweight always-on assertion machinery for the NiLiCon simulator.
+//
+// Simulation correctness (output commit, epoch ordering, TCP sequence
+// invariants) must hold in release builds too, so these checks are never
+// compiled out. They are cheap relative to simulated work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nlc {
+
+/// Thrown when a simulation invariant is violated. Tests catch this to
+/// verify failure-injection behaviour; production code treats it as fatal.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::string full = std::string("invariant violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " (" + msg + ")";
+  throw InvariantError(full);
+}
+
+}  // namespace nlc
+
+#define NLC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::nlc::invariant_failure(#expr, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define NLC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::nlc::invariant_failure(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)

@@ -1,0 +1,37 @@
+#include "util/bytes.hpp"
+
+#include <cstdio>
+
+namespace nlc {
+
+namespace {
+std::string fmt(double v, const char* suffix) {
+  char buf[64];
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", v, suffix);
+  } else if (v >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f%s", v, suffix);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", v, suffix);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) return fmt(b / static_cast<double>(kGiB), "G");
+  if (bytes >= kMiB) return fmt(b / static_cast<double>(kMiB), "M");
+  if (bytes >= kKiB) return fmt(b / static_cast<double>(kKiB), "K");
+  return fmt(b, "B");
+}
+
+std::string format_duration_ns(std::int64_t ns) {
+  double v = static_cast<double>(ns);
+  if (ns >= 1'000'000'000) return fmt(v / 1e9, "s");
+  if (ns >= 1'000'000) return fmt(v / 1e6, "ms");
+  if (ns >= 1'000) return fmt(v / 1e3, "us");
+  return fmt(v, "ns");
+}
+
+}  // namespace nlc

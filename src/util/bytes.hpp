@@ -1,0 +1,22 @@
+// Byte-size helpers shared by the checkpoint engine and the reporters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nlc {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// 4 KiB pages throughout, as on the paper's x86-64 hosts.
+inline constexpr std::uint64_t kPageSize = 4 * kKiB;
+
+/// Formats a byte count the way the paper's tables do ("24.2M", "53.1K").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a simulated-time duration in adaptive units ("5.1ms", "43us").
+std::string format_duration_ns(std::int64_t ns);
+
+}  // namespace nlc

@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic component (request generators, fault injectors, workload
+// mixes) takes an explicit seed so that any run — including every
+// fault-injection trial — is exactly reproducible. Components derive
+// sub-seeds with split() so adding a new consumer never perturbs the
+// sequences of existing ones.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nlc {
+
+/// SplitMix64: fast, well-distributed 64-bit mixer; used both as a stream
+/// splitter and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic RNG wrapper around mt19937_64 with convenience sampling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+  /// Derives an independent child generator; `salt` distinguishes siblings.
+  Rng split(std::uint64_t salt) {
+    return Rng(splitmix64(engine_() ^ splitmix64(salt)));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal sample clamped to [lo, hi].
+  double normal_clamped(double mean, double stddev, double lo, double hi) {
+    double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+  }
+
+  std::uint64_t next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nlc

@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nlc {
+
+void Samples::add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void Samples::clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+double Samples::mean() const {
+  NLC_CHECK(!values_.empty());
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Samples::min() const {
+  NLC_CHECK(!values_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Samples::max() const {
+  NLC_CHECK(!values_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Samples::percentile(double p) const {
+  NLC_CHECK(!values_.empty());
+  NLC_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  auto hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::cv() const {
+  if (values_.empty()) return 0.0;
+  double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / m;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  NLC_CHECK(hi > lo);
+  NLC_CHECK(buckets > 0);
+}
+
+void Histogram::add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
+  }
+}
+
+}  // namespace nlc

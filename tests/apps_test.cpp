@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "apps/batch_app.hpp"
+#include "apps/catalog.hpp"
+#include "apps/diskstress.hpp"
+#include "apps/kv.hpp"
+#include "apps/server_app.hpp"
+#include "clients/closed_loop.hpp"
+#include "core/cluster.hpp"
+
+namespace nlc::apps {
+namespace {
+
+using namespace nlc::literals;
+using core::Cluster;
+using core::kClientIp;
+using core::kServiceIp;
+using sim::task;
+
+// ------------------------------------------------------------- KV codec ----
+
+TEST(KvCodecTest, EncodeDecodeRoundTrip) {
+  std::vector<KvOp> ops;
+  ops.push_back({KvOpType::kSet, 42, 0xABCDEF, 900, false, 0});
+  ops.push_back({KvOpType::kGet, 43, 0, 0, true, 0x1234});
+  auto buf = kv_encode(ops);
+  auto back = kv_decode(*buf);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].op, KvOpType::kSet);
+  EXPECT_EQ(back[0].key, 42u);
+  EXPECT_EQ(back[0].seed, 0xABCDEFu);
+  EXPECT_EQ(back[0].len, 900);
+  EXPECT_EQ(back[1].op, KvOpType::kGet);
+  EXPECT_TRUE(back[1].found);
+  EXPECT_EQ(back[1].reply_seed, 0x1234u);
+}
+
+TEST(KvCodecTest, ValueBytesDeterministic) {
+  auto a = kv_value_bytes(7, 100);
+  auto b = kv_value_bytes(7, 100);
+  EXPECT_EQ(a, b);
+  auto c = kv_value_bytes(8, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(KvCodecTest, ContentHashDiscriminates) {
+  auto a = kv_value_bytes(1, 64);
+  auto b = kv_value_bytes(2, 64);
+  EXPECT_NE(kv_content_hash(a.data(), a.size()),
+            kv_content_hash(b.data(), b.size()));
+}
+
+TEST(KvCodecTest, CorruptPayloadRejected) {
+  std::vector<std::byte> garbage(kKvOpWireSize + 1);
+  EXPECT_THROW(kv_decode(garbage), InvariantError);
+}
+
+// ------------------------------------------------------------ ServerApp ----
+
+struct ServerRig {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             3};
+  std::unique_ptr<ServerApp> app;
+  kern::ContainerId cid;
+
+  explicit ServerRig(AppSpec spec) {
+    kern::Container& c = cl.create_service_container(spec.name);
+    cid = c.id();
+    app = std::make_unique<ServerApp>(env, spec);
+    app->setup(cid);
+  }
+};
+
+TEST(ServerAppTest, SetupBuildsDeclaredTopology) {
+  AppSpec spec = lighttpd_spec();
+  ServerRig rig(spec);
+  auto procs = rig.cl.primary_kernel->container_processes(rig.cid);
+  // 4 app processes + 1 keepalive.
+  EXPECT_EQ(procs.size(), 5u);
+  EXPECT_EQ(rig.cl.primary_kernel->total_file_mappings(rig.cid),
+            static_cast<std::uint64_t>(spec.processes * spec.mmap_files));
+  EXPECT_GE(rig.cl.primary_kernel->total_threads(rig.cid),
+            static_cast<std::uint64_t>(spec.processes));
+}
+
+TEST(ServerAppTest, ServesPlainRequests) {
+  ServerRig rig(netecho_spec());
+  clients::ClientConfig cc;
+  cc.local_ip = kClientIp;
+  cc.server_ip = kServiceIp;
+  cc.port = rig.app->spec().port;
+  cc.connections = 2;
+  cc.request_bytes = 10;
+  clients::ClosedLoopClient client(rig.cl.sim, rig.cl.client_domain,
+                                   rig.cl.client_tcp, cc, 5);
+  client.start();
+  rig.cl.sim.run_until(500_ms);
+  client.stop();
+  EXPECT_GT(client.completed(), 100u);  // echo is fast when unprotected
+  EXPECT_EQ(client.broken_connections(), 0u);
+  EXPECT_EQ(rig.app->requests_completed(), client.completed());
+}
+
+TEST(ServerAppTest, KvSetGetRoundTrip) {
+  AppSpec spec = netecho_spec();
+  spec.kv_pages = 128;
+  ServerRig rig(spec);
+  clients::ClientConfig cc;
+  cc.local_ip = kClientIp;
+  cc.server_ip = kServiceIp;
+  cc.port = spec.port;
+  cc.connections = 1;
+  cc.kv_mode = true;
+  cc.kv_ops_per_request = 8;
+  cc.keys_per_connection = 64;
+  clients::ClosedLoopClient client(rig.cl.sim, rig.cl.client_domain,
+                                   rig.cl.client_tcp, cc, 6);
+  client.start();
+  rig.cl.sim.run_until(1_s);
+  client.stop();
+  EXPECT_GT(client.completed(), 50u);
+  EXPECT_EQ(client.kv_errors(), 0u);
+}
+
+TEST(ServerAppTest, DirtyPagesTrackedUnderLoad) {
+  ServerRig rig(netecho_spec());
+  for (kern::Process* p :
+       rig.cl.primary_kernel->container_processes(rig.cid)) {
+    p->mm().clear_soft_dirty();
+  }
+  clients::ClientConfig cc;
+  cc.local_ip = kClientIp;
+  cc.server_ip = kServiceIp;
+  cc.port = rig.app->spec().port;
+  cc.connections = 1;
+  cc.request_bytes = 10;
+  clients::ClosedLoopClient client(rig.cl.sim, rig.cl.client_domain,
+                                   rig.cl.client_tcp, cc, 7);
+  client.start();
+  rig.cl.sim.run_until(200_ms);
+  client.stop();
+  std::uint64_t dirty = 0;
+  for (kern::Process* p :
+       rig.cl.primary_kernel->container_processes(rig.cid)) {
+    dirty += p->mm().dirty_pages().size();
+  }
+  EXPECT_GT(dirty, 0u);
+}
+
+TEST(ServerAppTest, DiskSpecWritesThroughFilesystem) {
+  AppSpec spec = ssdb_spec();
+  spec.service_cpu = 1_ms;  // keep the test fast
+  ServerRig rig(spec);
+  clients::ClientConfig cc;
+  cc.local_ip = kClientIp;
+  cc.server_ip = kServiceIp;
+  cc.port = spec.port;
+  cc.connections = 1;
+  cc.request_bytes = 100;
+  clients::ClosedLoopClient client(rig.cl.sim, rig.cl.client_domain,
+                                   rig.cl.client_tcp, cc, 8);
+  client.start();
+  rig.cl.sim.run_until(400_ms);
+  client.stop();
+  EXPECT_GT(client.completed(), 0u);
+  auto ino = rig.cl.primary_kernel->fs().lookup("/data/ssdb.db");
+  ASSERT_NE(ino, 0u);
+  EXPECT_GT(rig.cl.primary_kernel->fs().attr(ino)->size, 0u);
+  // Writeback + DRBD primary applied locally.
+  rig.cl.sim.run_until(rig.cl.sim.now() + 300_ms);
+  EXPECT_GT(rig.cl.primary_disk.writes(), 0u);
+}
+
+// ------------------------------------------------------------- BatchApp ----
+
+TEST(BatchAppTest, RunsToCompletionInIdealTimeWhenUnprotected) {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             4};
+  AppSpec spec = swaptions_spec();
+  spec.batch_cpu_per_thread = 500_ms;
+  kern::Container& c = cl.create_service_container(spec.name);
+  BatchApp app(env, spec);
+  app.setup(c.id());
+  app.start();
+  cl.sim.spawn([](BatchApp& a, Cluster& cc) -> task<> {
+    co_await a.wait_done();
+    cc.sim.stop();
+  }(app, cl));
+  cl.sim.run();
+  EXPECT_TRUE(app.done());
+  // Dedicated cores, no protection: only the keepalive's ~us-scale core
+  // sharing separates runtime from the work quota.
+  EXPECT_NEAR(to_seconds(app.runtime()), 0.5, 0.001);
+  EXPECT_EQ(app.recorded_progress(), 4 * 500_ms);
+}
+
+TEST(BatchAppTest, DilationStretchesRuntime) {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             4};
+  AppSpec spec = swaptions_spec();
+  spec.batch_cpu_per_thread = 500_ms;
+  kern::Container& c = cl.create_service_container(spec.name);
+  BatchApp app(env, spec);
+  app.setup(c.id());
+  app.set_dilation(1.2);
+  app.start();
+  cl.sim.spawn([](BatchApp& a, Cluster& cc) -> task<> {
+    co_await a.wait_done();
+    cc.sim.stop();
+  }(app, cl));
+  cl.sim.run();
+  EXPECT_NEAR(to_seconds(app.runtime()), 0.6, 0.01);
+}
+
+TEST(BatchAppTest, WorkersDirtyPagesWithStreamingPattern) {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             4};
+  AppSpec spec = streamcluster_spec();
+  spec.batch_cpu_per_thread = 200_ms;
+  kern::Container& c = cl.create_service_container(spec.name);
+  BatchApp app(env, spec);
+  app.setup(c.id());
+  for (kern::Process* p : cl.primary_kernel->container_processes(c.id())) {
+    p->mm().clear_soft_dirty();
+  }
+  app.start();
+  cl.sim.run_until(30_ms);
+  std::uint64_t dirty = 0;
+  for (kern::Process* p : cl.primary_kernel->container_processes(c.id())) {
+    dirty += p->mm().dirty_pages().size();
+  }
+  // 4 threads x 13 pages/5ms quantum x ~6 quanta ≈ 312 (+ progress pages).
+  EXPECT_GT(dirty, 250u);
+  EXPECT_LT(dirty, 400u);
+}
+
+// ------------------------------------------------------------ DiskStress ----
+
+TEST(DiskStressTest, SelfChecksPassWithoutFaults) {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             4};
+  kern::Container& c = cl.create_service_container("stress");
+  DiskStressApp app(env, 123);
+  app.setup(c.id());
+  cl.sim.run_until(400_ms);
+  app.stop();
+  EXPECT_GT(app.operations(), 500u);
+  EXPECT_EQ(app.errors(), 0u);
+  EXPECT_EQ(app.verify_all(), 0u);
+}
+
+TEST(DiskStressTest, DetectsCorruption) {
+  Cluster cl;
+  AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp, kServiceIp,
+             4};
+  kern::Container& c = cl.create_service_container("stress");
+  DiskStressApp app(env, 123);
+  app.setup(c.id());
+  cl.sim.run_until(200_ms);
+  app.stop();
+  // Corrupt the file behind the app's back: verify_all must notice.
+  auto ino = cl.primary_kernel->fs().lookup("/data/diskstress.dat");
+  std::vector<std::byte> junk(64, std::byte{0xEE});
+  for (std::uint64_t slot = 0; slot < DiskStressApp::kSlots; ++slot) {
+    cl.primary_kernel->fs().write(ino, slot * DiskStressApp::kSlotBytes,
+                                  junk, 1);
+  }
+  EXPECT_GT(app.verify_all(), 0u);
+}
+
+// --------------------------------------------------------------- Catalog ----
+
+TEST(CatalogTest, SevenBenchmarksInTableOrder) {
+  auto specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "swaptions");
+  EXPECT_EQ(specs[1].name, "streamcluster");
+  EXPECT_EQ(specs[2].name, "redis");
+  EXPECT_EQ(specs[3].name, "ssdb");
+  EXPECT_EQ(specs[4].name, "node");
+  EXPECT_EQ(specs[5].name, "lighttpd");
+  EXPECT_EQ(specs[6].name, "djcms");
+}
+
+TEST(CatalogTest, SpecInvariants) {
+  for (const auto& s : paper_benchmarks()) {
+    EXPECT_GE(s.dilation_nilicon, 1.0) << s.name;
+    EXPECT_GE(s.dilation_mc, 1.0) << s.name;
+    EXPECT_GT(s.mapped_pages, 0u) << s.name;
+    if (s.interactive) {
+      EXPECT_GT(s.service_cpu, 0) << s.name;
+      EXPECT_GT(s.saturation_clients, 0) << s.name;
+    } else {
+      EXPECT_GT(s.pages_per_quantum, 0u) << s.name;
+    }
+  }
+}
+
+TEST(CatalogTest, KvStoresHaveKeySpace) {
+  EXPECT_GT(redis_spec().kv_pages, 0u);
+  EXPECT_GT(ssdb_spec().kv_pages, 0u);
+  EXPECT_GT(ssdb_spec().disk_bytes_per_request, 0u);
+}
+
+}  // namespace
+}  // namespace nlc::apps

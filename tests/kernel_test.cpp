@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "kernel/address_space.hpp"
+#include "kernel/cpu.hpp"
+#include "kernel/fs.hpp"
+#include "kernel/kernel.hpp"
+#include "sim/simulation.hpp"
+#include "util/assert.hpp"
+
+namespace nlc::kern {
+namespace {
+
+using namespace nlc::literals;
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> out(std::strlen(s));
+  std::memcpy(out.data(), s, out.size());
+  return out;
+}
+
+/// Minimal in-memory block store for kernel-level tests.
+class FakeStore : public BlockStore {
+ public:
+  void write_block(InodeNum ino, std::uint64_t page,
+                   std::span<const std::byte> data) override {
+    blocks_[{ino, page}].assign(data.begin(), data.end());
+    ++writes_;
+  }
+  std::optional<std::vector<std::byte>> read_block(
+      InodeNum ino, std::uint64_t page) const override {
+    auto it = blocks_.find({ino, page});
+    if (it == blocks_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::map<std::pair<InodeNum, std::uint64_t>, std::vector<std::byte>> blocks_;
+  std::uint64_t writes_ = 0;
+};
+
+// ---------------------------------------------------------------- VMAs ----
+
+TEST(AddressSpaceTest, MapAllocatesDisjointRanges) {
+  AddressSpace as;
+  const Vma& a = as.map(10, VmaKind::kAnon);
+  const Vma& b = as.map(20, VmaKind::kStack);
+  EXPECT_GE(b.start, a.end());
+  EXPECT_EQ(as.mapped_pages(), 30u);
+  EXPECT_EQ(as.vmas().size(), 2u);
+}
+
+TEST(AddressSpaceTest, UnmapDropsPagesAndContent) {
+  AddressSpace as;
+  auto id = as.map(4, VmaKind::kAnon).id;
+  auto start = as.vmas()[0].start;
+  as.write(start, 0, bytes_of("hi"));
+  as.unmap(id);
+  EXPECT_EQ(as.mapped_pages(), 0u);
+  EXPECT_TRUE(as.vmas().empty());
+}
+
+TEST(AddressSpaceTest, TouchWithoutTrackingIsFree) {
+  AddressSpace as;
+  auto start = as.map(4, VmaKind::kAnon).start;
+  EXPECT_FALSE(as.touch(start));
+  EXPECT_TRUE(as.dirty_pages().empty());
+}
+
+TEST(AddressSpaceTest, SoftDirtyTrackingReportsWriteFaultOncePerPage) {
+  AddressSpace as;
+  auto start = as.map(4, VmaKind::kAnon).start;
+  as.clear_soft_dirty();
+  EXPECT_TRUE(as.touch(start));    // first write: fault
+  EXPECT_FALSE(as.touch(start));   // subsequent writes: no fault
+  EXPECT_TRUE(as.touch(start + 1));
+  EXPECT_EQ(as.dirty_pages().size(), 2u);
+}
+
+TEST(AddressSpaceTest, ClearSoftDirtyRearmsFaults) {
+  AddressSpace as;
+  auto start = as.map(2, VmaKind::kAnon).start;
+  as.clear_soft_dirty();
+  as.touch(start);
+  as.clear_soft_dirty();
+  EXPECT_TRUE(as.dirty_pages().empty());
+  EXPECT_TRUE(as.touch(start));
+}
+
+TEST(AddressSpaceTest, TouchRangeCountsFreshFaults) {
+  AddressSpace as;
+  auto start = as.map(10, VmaKind::kAnon).start;
+  as.clear_soft_dirty();
+  EXPECT_EQ(as.touch_range(start, 5), 5u);
+  EXPECT_EQ(as.touch_range(start + 3, 5), 3u);  // 3,4 already dirty
+}
+
+TEST(AddressSpaceTest, ContentRoundTrip) {
+  AddressSpace as;
+  auto start = as.map(2, VmaKind::kAnon).start;
+  as.write(start, 100, bytes_of("payload"));
+  auto back = as.read(start, 100, 7);
+  EXPECT_EQ(0, std::memcmp(back.data(), "payload", 7));
+  // Unwritten bytes read as zero.
+  auto zeros = as.read(start + 1, 0, 4);
+  for (auto b : zeros) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(AddressSpaceTest, ContentPageHasFullPageBuffer) {
+  AddressSpace as;
+  auto start = as.map(1, VmaKind::kAnon).start;
+  as.write(start, 0, bytes_of("x"));
+  const auto* c = as.content(start);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->size(), kPageSize);
+  EXPECT_EQ(as.content(start + 100), nullptr);
+}
+
+TEST(AddressSpaceTest, AccessToUnmappedPageThrows) {
+  AddressSpace as;
+  as.map(2, VmaKind::kAnon);
+  EXPECT_THROW(as.touch(1), InvariantError);
+}
+
+TEST(AddressSpaceTest, InstallVmaPreservesPageIdentity) {
+  AddressSpace src;
+  const Vma v = src.map(8, VmaKind::kAnon);
+  AddressSpace dst;
+  dst.install_vma(v);
+  EXPECT_EQ(dst.vmas()[0].start, v.start);
+  EXPECT_NO_THROW(dst.touch(v.start + 7));
+}
+
+TEST(AddressSpaceTest, InstallVmaRejectsOverlap) {
+  AddressSpace as;
+  const Vma v = as.map(8, VmaKind::kAnon);
+  Vma overlap = v;
+  overlap.id = v.id + 100;
+  overlap.start = v.start + 4;
+  EXPECT_THROW(as.install_vma(overlap), InvariantError);
+}
+
+TEST(AddressSpaceTest, PageVersionMonotone) {
+  AddressSpace as;
+  auto start = as.map(1, VmaKind::kAnon).start;
+  auto v0 = as.page_version(start);
+  as.touch(start);
+  as.touch(start);
+  EXPECT_EQ(as.page_version(start), v0 + 2);
+}
+
+// ----------------------------------------------------------------- CPU ----
+
+TEST(CpuSetTest, ConsumeAdvancesUsage) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  s.spawn([](CpuSet& c) -> sim::task<> { co_await c.consume(10_ms); }(cpu));
+  s.run();
+  EXPECT_EQ(cpu.usage(), 10_ms);
+  EXPECT_EQ(s.now(), 10_ms);
+}
+
+TEST(CpuSetTest, FreezeSuspendsBurst) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  Time finished = -1;
+  s.spawn([](sim::Simulation& ss, CpuSet& c, Time& f) -> sim::task<> {
+    co_await c.consume(10_ms);
+    f = ss.now();
+  }(s, cpu, finished));
+  s.call_after(4_ms, [&] { cpu.freeze(); });
+  s.call_after(9_ms, [&] { cpu.unfreeze(); });
+  s.run();
+  // 4ms ran, frozen for 5ms, then the remaining 6ms: ends at 15ms.
+  EXPECT_EQ(finished, 15_ms);
+  EXPECT_EQ(cpu.usage(), 10_ms);
+}
+
+TEST(CpuSetTest, UsageExcludesFrozenTime) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  s.spawn([](CpuSet& c) -> sim::task<> { co_await c.consume(20_ms); }(cpu));
+  s.call_after(5_ms, [&] { cpu.freeze(); });
+  s.run_until(10_ms);
+  EXPECT_EQ(cpu.usage(), 5_ms);  // only pre-freeze time counted
+  cpu.unfreeze();
+  s.run();
+  EXPECT_EQ(cpu.usage(), 20_ms);
+}
+
+TEST(CpuSetTest, ConsumeWhileFrozenWaitsForThaw) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  cpu.freeze();
+  Time finished = -1;
+  s.spawn([](sim::Simulation& ss, CpuSet& c, Time& f) -> sim::task<> {
+    co_await c.consume(3_ms);
+    f = ss.now();
+  }(s, cpu, finished));
+  s.call_after(10_ms, [&] { cpu.unfreeze(); });
+  s.run();
+  EXPECT_EQ(finished, 13_ms);
+}
+
+TEST(CpuSetTest, ParallelBurstsOnDedicatedCores) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.spawn([](CpuSet& c, int& d) -> sim::task<> {
+      co_await c.consume(10_ms);
+      ++d;
+    }(cpu, done));
+  }
+  s.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(s.now(), 10_ms);        // parallel, not serialized
+  EXPECT_EQ(cpu.usage(), 40_ms);    // 4 cores x 10ms
+}
+
+TEST(CpuSetTest, FreezeAtExactCompletionInstant) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  bool finished = false;
+  s.spawn([](CpuSet& c, bool& f) -> sim::task<> {
+    co_await c.consume(5_ms);
+    f = true;
+  }(cpu, finished));
+  s.call_after(5_ms, [&] { cpu.freeze(); });
+  s.run();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(cpu.usage(), 5_ms);
+}
+
+TEST(CpuSetTest, ZeroConsumeCompletesInline) {
+  sim::Simulation s;
+  CpuSet cpu(s, nullptr);
+  bool finished = false;
+  s.spawn([](CpuSet& c, bool& f) -> sim::task<> {
+    co_await c.consume(0);
+    f = true;
+  }(cpu, finished));
+  EXPECT_TRUE(finished);
+}
+
+// ---------------------------------------------------------- Filesystem ----
+
+TEST(FilesystemTest, CreateLookupRoundTrip) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/data/file.db");
+  EXPECT_EQ(fs.lookup("/data/file.db"), ino);
+  EXPECT_EQ(fs.lookup("/missing"), 0u);
+  EXPECT_EQ(fs.attr(ino)->size, 0u);
+}
+
+TEST(FilesystemTest, WriteReadThroughCache) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.write(ino, 10, bytes_of("hello"), 1);
+  auto back = fs.read(ino, 10, 5);
+  EXPECT_EQ(0, std::memcmp(back.data(), "hello", 5));
+  EXPECT_EQ(fs.attr(ino)->size, 15u);
+  EXPECT_EQ(store.writes(), 0u);  // nothing flushed yet
+}
+
+TEST(FilesystemTest, WriteSpanningPages) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  std::vector<std::byte> big(kPageSize + 100, std::byte{0xAB});
+  fs.write(ino, kPageSize - 50, big, 1);
+  auto back = fs.read(ino, kPageSize - 50, big.size());
+  EXPECT_EQ(back, big);
+  EXPECT_EQ(fs.cached_page_count(), 3u);
+}
+
+TEST(FilesystemTest, WritebackFlushesDirtyKeepsDnc) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.write(ino, 0, bytes_of("x"), 1);
+  EXPECT_EQ(fs.dirty_page_count(), 1u);
+  EXPECT_EQ(fs.dnc_page_count(), 1u);
+  EXPECT_EQ(fs.writeback(100), 1u);
+  EXPECT_EQ(fs.dirty_page_count(), 0u);
+  EXPECT_EQ(fs.dnc_page_count(), 1u);  // DNC survives writeback (§III)
+  EXPECT_EQ(store.writes(), 1u);
+}
+
+TEST(FilesystemTest, HarvestDncClearsOnlyDnc) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.write(ino, 0, bytes_of("abc"), 1);
+  auto h = fs.harvest_dnc();
+  EXPECT_EQ(h.pages.size(), 1u);
+  EXPECT_GE(h.inodes.size(), 1u);
+  EXPECT_EQ(fs.dnc_page_count(), 0u);
+  EXPECT_EQ(fs.dirty_page_count(), 1u);  // still needs writeback
+  // Second harvest with no new writes is empty.
+  auto h2 = fs.harvest_dnc();
+  EXPECT_TRUE(h2.pages.empty());
+  EXPECT_TRUE(h2.inodes.empty());
+}
+
+TEST(FilesystemTest, RewriteAfterHarvestSetsDncAgain) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.write(ino, 0, bytes_of("a"), 1);
+  fs.harvest_dnc();
+  fs.write(ino, 0, bytes_of("b"), 2);
+  EXPECT_EQ(fs.dnc_page_count(), 1u);
+}
+
+TEST(FilesystemTest, ApplyDncReconstitutesFileOnBackup) {
+  FakeStore store_p, store_b;
+  Filesystem primary(store_p), backup(store_b);
+  auto ino = primary.create("/db");
+  primary.write(ino, 100, bytes_of("committed"), 1);
+  auto h = primary.harvest_dnc();
+
+  backup.apply_dnc(h, 2);
+  auto back = backup.read(ino, 100, 9);
+  EXPECT_EQ(0, std::memcmp(back.data(), "committed", 9));
+  EXPECT_EQ(backup.lookup("/db"), ino);
+  EXPECT_EQ(backup.attr(ino)->size, 109u);
+}
+
+TEST(FilesystemTest, ReadFallsBackToDiskAfterCacheFlush) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.write(ino, 0, bytes_of("disk-data"), 1);
+  fs.sync_all();
+  // Simulate cache eviction by reading through a fresh Filesystem over the
+  // same store: block must come from disk.
+  Filesystem fs2(store);
+  auto ino2 = fs2.create("/f");
+  (void)ino2;
+  auto back = fs2.read(ino2, 0, 9);
+  EXPECT_EQ(0, std::memcmp(back.data(), "disk-data", 9));
+}
+
+TEST(FilesystemTest, SetAttrMarksInodeDnc) {
+  FakeStore store;
+  Filesystem fs(store);
+  auto ino = fs.create("/f");
+  fs.harvest_dnc();
+  fs.set_attr(ino, 1000, 1000, 0600);
+  auto h = fs.harvest_dnc();
+  ASSERT_EQ(h.inodes.size(), 1u);
+  EXPECT_EQ(h.inodes[0].attr.uid, 1000u);
+  EXPECT_EQ(h.inodes[0].attr.mode, 0600u);
+}
+
+// --------------------------------------------------------------- Kernel ----
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() : kernel_(sim_, nullptr, "primary", store_) {}
+
+  sim::Simulation sim_;
+  FakeStore store_;
+  Kernel kernel_;
+};
+
+TEST_F(KernelTest, ContainerHasFullNamespaceSet) {
+  Container& c = kernel_.create_container("web");
+  EXPECT_EQ(c.namespaces().size(),
+            static_cast<std::size_t>(kNamespaceTypeCount));
+  EXPECT_NE(c.net_ns_id(), 0u);
+  EXPECT_GE(c.mounts().size(), 5u);
+  EXPECT_GE(c.devices().size(), 5u);
+}
+
+TEST_F(KernelTest, ProcessAndThreadCreation) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  kernel_.create_thread(p.pid());
+  kernel_.create_thread(p.pid());
+  EXPECT_EQ(p.threads().size(), 3u);  // main + 2
+  EXPECT_EQ(kernel_.total_threads(c.id()), 3u);
+  EXPECT_EQ(kernel_.container_processes(c.id()).size(), 1u);
+}
+
+TEST_F(KernelTest, FreezerStopsCpuAndMarksThreads) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  Time finished = -1;
+  sim_.spawn([](sim::Simulation& s, CpuSet& cpu, Time& f) -> sim::task<> {
+    co_await cpu.consume(10_ms);
+    f = s.now();
+  }(sim_, c.cpu(), finished));
+  sim_.call_after(3_ms, [&] { kernel_.freeze_container(c.id()); });
+  sim_.call_after(8_ms, [&] { kernel_.thaw_container(c.id()); });
+  sim_.run();
+  EXPECT_EQ(finished, 15_ms);
+  EXPECT_FALSE(p.threads()[0].frozen);
+}
+
+TEST_F(KernelTest, FreezeForcesSyscallReturn) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  p.threads()[0].in_syscall = true;
+  kernel_.freeze_container(c.id());
+  EXPECT_TRUE(p.threads()[0].frozen);
+  EXPECT_FALSE(p.threads()[0].in_syscall);
+}
+
+TEST_F(KernelTest, MountFiresFtraceHookAndBumpsVersion) {
+  Container& c = kernel_.create_container("web");
+  auto v0 = c.infrequent_state_version();
+  int hook_calls = 0;
+  kernel_.ftrace().attach("do_mount",
+                          [&](const TraceEvent&) { ++hook_calls; });
+  kernel_.do_mount(c.id(), {"tmpfs", "/scratch", "tmpfs", 0});
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_GT(c.infrequent_state_version(), v0);
+}
+
+TEST_F(KernelTest, MknodAndSetnsAndCgroupFireHooks) {
+  Container& c = kernel_.create_container("web");
+  int hooks = 0;
+  for (const char* fn : {"mknod", "setns", "cgroup_attach_task"}) {
+    kernel_.ftrace().attach(fn, [&](const TraceEvent&) { ++hooks; });
+  }
+  kernel_.mknod(c.id(), {"/dev/shm0", 1, 14});
+  kernel_.setns_config(c.id(), NamespaceType::kNet, 8192);
+  kernel_.cgroup_modify(c.id(), 100000, 1 << 30);
+  EXPECT_EQ(hooks, 3);
+}
+
+TEST_F(KernelTest, MmapFileCountsAsFileMapping) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  auto v0 = c.infrequent_state_version();
+  kernel_.mmap_file(p.pid(), 50, "/lib/libc.so.6");
+  kernel_.mmap_file(p.pid(), 20, "/lib/libssl.so");
+  EXPECT_EQ(kernel_.total_file_mappings(c.id()), 2u);
+  EXPECT_GT(c.infrequent_state_version(), v0);
+}
+
+TEST_F(KernelTest, FdAccounting) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  p.install_fd(FdEntry{.kind = FdKind::kFile, .inode = 5});
+  p.install_fd(FdEntry{.kind = FdKind::kSocket, .socket = 77});
+  p.install_fd(FdEntry{.kind = FdKind::kSocket, .socket = 78});
+  EXPECT_EQ(kernel_.total_fds(c.id()), 3u);
+  EXPECT_EQ(kernel_.total_sockets(c.id()), 2u);
+}
+
+TEST_F(KernelTest, DestroyProcessRemovesFromContainer) {
+  Container& c = kernel_.create_container("web");
+  Process& p = kernel_.create_process(c.id(), "server");
+  Pid pid = p.pid();
+  kernel_.destroy_process(pid);
+  EXPECT_EQ(kernel_.process(pid), nullptr);
+  EXPECT_TRUE(c.pids().empty());
+}
+
+TEST_F(KernelTest, InstallContainerPreservesId) {
+  Container& c = kernel_.install_container(42, "restored");
+  EXPECT_EQ(c.id(), 42);
+  EXPECT_EQ(kernel_.container(42), &c);
+  // Next create does not collide.
+  Container& d = kernel_.create_container("fresh");
+  EXPECT_GT(d.id(), 42);
+}
+
+TEST_F(KernelTest, InstallProcessPreservesPid) {
+  kernel_.install_container(1, "c");
+  Process& p = kernel_.install_process(1, 500, "restored");
+  EXPECT_EQ(p.pid(), 500);
+  Process& q = kernel_.create_process(1, "fresh");
+  EXPECT_GT(q.pid(), 500);
+}
+
+TEST_F(KernelTest, FreezeIsIdempotent) {
+  Container& c = kernel_.create_container("web");
+  kernel_.freeze_container(c.id());
+  kernel_.freeze_container(c.id());
+  EXPECT_TRUE(c.frozen());
+  kernel_.thaw_container(c.id());
+  kernel_.thaw_container(c.id());
+  EXPECT_FALSE(c.frozen());
+}
+
+}  // namespace
+}  // namespace nlc::kern

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "apps/server_app.hpp"
+#include "core/cluster.hpp"
+#include "mc/micro_checkpoint.hpp"
+
+namespace nlc::mc {
+namespace {
+
+using namespace nlc::literals;
+using core::Cluster;
+using sim::task;
+
+struct McRig {
+  Cluster cl;
+  apps::AppEnv env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp,
+                   core::kServiceIp, 3};
+  std::unique_ptr<apps::ServerApp> app;
+  std::unique_ptr<McDriver> driver;
+  kern::ContainerId cid;
+
+  explicit McRig(std::uint64_t guest_noise = 100) {
+    apps::AppSpec spec = apps::netecho_spec();
+    kern::Container& c = cl.create_service_container(spec.name);
+    cid = c.id();
+    app = std::make_unique<apps::ServerApp>(env, spec);
+    app->setup(cid);
+    McOptions mo;
+    mo.guest_noise_pages = guest_noise;
+    driver = std::make_unique<McDriver>(mo, *cl.primary_kernel,
+                                        cl.primary_tcp, cid,
+                                        *cl.state_channel, *cl.ack_channel,
+                                        cl.metrics);
+    cl.sim.spawn(cl.backup_domain, driver->backup_responder());
+    cl.sim.spawn([](McRig& r) -> task<> {
+      co_await r.driver->start();
+    }(*this));
+  }
+};
+
+TEST(McTest, EpochsAdvance) {
+  McRig rig;
+  rig.cl.sim.run_until(1_s);
+  EXPECT_GT(rig.cl.metrics.epochs_completed, 25u);
+  EXPECT_LT(rig.cl.metrics.epochs_completed, 40u);
+}
+
+TEST(McTest, StopTimeSmallAndPageProportional) {
+  McRig rig(/*guest_noise=*/100);
+  rig.cl.sim.run_until(1_s);
+  // ~100 noise pages + idle echo: stop = 2.16ms + ~100 x 1.15us ≈ 2.3ms.
+  EXPECT_GT(rig.cl.metrics.stop_time_ms.mean(), 1.5);
+  EXPECT_LT(rig.cl.metrics.stop_time_ms.mean(), 4.0);
+}
+
+TEST(McTest, GuestNoiseIncreasesDirtyPages) {
+  McRig quiet(10), noisy(1000);
+  quiet.cl.sim.run_until(1_s);
+  noisy.cl.sim.run_until(1_s);
+  EXPECT_GT(noisy.cl.metrics.dirty_pages.mean(),
+            quiet.cl.metrics.dirty_pages.mean() + 500);
+}
+
+TEST(McTest, OutputBufferedUntilAck) {
+  McRig rig;
+  rig.cl.sim.run_until(500_ms);
+  // Plug engaged and cycling through markers without leaking packets.
+  EXPECT_TRUE(rig.cl.primary_tcp.plug(core::kServiceIp).engaged());
+  EXPECT_GT(rig.cl.metrics.commit_latency_ms.count(), 5u);
+}
+
+TEST(McTest, BackupBusyTracksState) {
+  McRig rig(2000);
+  rig.cl.sim.run_until(1_s);
+  EXPECT_GT(rig.cl.metrics.backup_busy, 0);
+}
+
+}  // namespace
+}  // namespace nlc::mc

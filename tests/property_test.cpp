@@ -1,0 +1,146 @@
+// Property-style parameterized suites over the system's core invariants:
+// output commit, failover consistency, and page-store equivalence — swept
+// across seeds, epoch lengths, fault times and optimization configurations.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "criu/pagestore.hpp"
+#include "harness/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace nlc {
+namespace {
+
+using harness::Mode;
+using harness::RunConfig;
+
+// ---- Invariant: failover never loses acknowledged writes, never breaks
+// ---- connections — for any fault time (seed-swept).
+
+class FailoverConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailoverConsistency, NoLossAnySeed) {
+  RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.spec.kv_pages = 256;
+  cfg.mode = Mode::kNiLiCon;
+  cfg.measure = nlc::seconds(3);
+  cfg.inject_fault = true;
+  cfg.kv_validation = true;
+  cfg.client_connections = 2;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 13;
+  auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.fault_injected);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_EQ(r.broken_connections, 0u);
+  EXPECT_GT(r.requests_after_fault, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, FailoverConsistency,
+                         ::testing::Range(0, 8));
+
+// ---- Invariant: the same holds for every Table I optimization level
+// ---- (the optimizations must never change correctness, only cost).
+
+class OptimizationLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizationLevels, FailoverCorrectAtEveryLevel) {
+  RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.spec.kv_pages = 128;
+  cfg.mode = Mode::kNiLiCon;
+  cfg.nilicon = core::Options::table1_row(GetParam());
+  cfg.measure = nlc::seconds(2);
+  cfg.inject_fault = true;
+  cfg.kv_validation = true;
+  cfg.client_connections = 2;
+  cfg.seed = 42;
+  auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_EQ(r.broken_connections, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, OptimizationLevels, ::testing::Range(0, 7));
+
+// ---- Invariant: response latency under protection is bounded below by
+// ---- the commit delay and runs do not lose requests (epoch sweep).
+
+class EpochLengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpochLengths, BufferingDelayTracksEpochLength) {
+  RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.mode = Mode::kNiLiCon;
+  cfg.nilicon.epoch_length = nlc::milliseconds(GetParam());
+  cfg.measure = nlc::seconds(2);
+  cfg.client_connections = 1;
+  auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.broken_connections, 0u);
+  ASSERT_GT(r.requests_completed, 5u);
+  // Mean latency at least ~half the epoch (release waits for commit).
+  EXPECT_GT(r.mean_latency_ms, static_cast<double>(GetParam()) * 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epochs, EpochLengths,
+                         ::testing::Values(10, 30, 60, 120));
+
+// ---- Invariant: list and radix page stores are observationally
+// ---- equivalent (same lookups after any operation sequence).
+
+class PageStoreEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageStoreEquivalence, RandomOperationSequences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  criu::ListPageStore list;
+  criu::RadixPageStore radix;
+  for (std::uint64_t epoch = 0; epoch < 30; ++epoch) {
+    list.begin_checkpoint(epoch);
+    radix.begin_checkpoint(epoch);
+    int n = static_cast<int>(rng.uniform(1, 40));
+    for (int i = 0; i < n; ++i) {
+      criu::PageRecord rec;
+      rec.page = static_cast<kern::PageNum>(rng.uniform(0, 200));
+      rec.version = epoch * 1000 + static_cast<std::uint64_t>(i);
+      list.store(rec);
+      radix.store(rec);
+    }
+  }
+  ASSERT_EQ(list.page_count(), radix.page_count());
+  for (kern::PageNum p = 0; p <= 200; ++p) {
+    const criu::PageRecord* a = list.lookup(p);
+    const criu::PageRecord* b = radix.lookup(p);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "page " << p;
+    if (a != nullptr) EXPECT_EQ(a->version, b->version) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sequences, PageStoreEquivalence,
+                         ::testing::Range(0, 6));
+
+// ---- Invariant: determinism — identical configs yield identical runs.
+
+class Determinism : public ::testing::TestWithParam<int> {};
+
+TEST_P(Determinism, RunsAreReproducible) {
+  RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.mode = Mode::kNiLiCon;
+  cfg.measure = nlc::seconds(1);
+  cfg.inject_fault = (GetParam() % 2) == 1;
+  cfg.kv_validation = cfg.inject_fault;
+  cfg.spec.kv_pages = cfg.kv_validation ? 64 : 0;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  auto a = harness::run_experiment(cfg);
+  auto b = harness::run_experiment(cfg);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.metrics.epochs_completed, b.metrics.epochs_completed);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(to_millis(a.interruption), to_millis(b.interruption));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace nlc

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace nlc {
+namespace {
+
+using namespace nlc::literals;
+
+TEST(TimeTest, LiteralsAndConversions) {
+  EXPECT_EQ(30_ms, 30'000'000);
+  EXPECT_EQ(43_us, 43'000);
+  EXPECT_EQ(1_s, 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(30_ms), 30.0);
+  EXPECT_DOUBLE_EQ(to_micros(43_us), 43.0);
+  EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+}
+
+TEST(TimeTest, FractionalHelpers) {
+  EXPECT_EQ(microseconds_f(2.2), 2200);
+  EXPECT_EQ(milliseconds_f(0.5), 500'000);
+  EXPECT_EQ(seconds_f(0.001), 1'000'000);
+}
+
+TEST(AssertTest, CheckThrowsInvariantError) {
+  EXPECT_THROW(NLC_CHECK(1 == 2), InvariantError);
+  EXPECT_NO_THROW(NLC_CHECK(1 == 1));
+}
+
+TEST(AssertTest, CheckMessageIncludesContext) {
+  try {
+    NLC_CHECK_MSG(false, "epoch ordering");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("epoch ordering"),
+              std::string::npos);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, SplitIndependence) {
+  Rng root(7);
+  Rng c1 = root.split(1);
+  Rng c2 = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1.next() == c2.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(5);
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.exponential(10.0);
+  EXPECT_NEAR(acc / n, 10.0, 0.5);
+}
+
+TEST(RngTest, NormalClamped) {
+  Rng r(6);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.normal_clamped(0.0, 100.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SamplesTest, MeanAndExtrema) {
+  Samples s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SamplesTest, PercentilesExactOnUniformRamp) {
+  Samples s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(10), 1.0);
+}
+
+TEST(SamplesTest, SingleSample) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(10), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SamplesTest, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.mean(), InvariantError);
+  EXPECT_THROW(s.percentile(50), InvariantError);
+}
+
+TEST(SamplesTest, AddAfterPercentileKeepsSorted) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(SamplesTest, StddevAndCv) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_NEAR(s.cv(), 2.138 / 5.0, 0.001);
+}
+
+TEST(SamplesTest, Clear) {
+  Samples s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(BytesTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(53 * kKiB + 100), "53.1K");
+  EXPECT_EQ(format_bytes(24 * kMiB + 200 * kKiB), "24.2M");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.00G");
+}
+
+TEST(BytesTest, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(5'100'000), "5.10ms");
+  EXPECT_EQ(format_duration_ns(43'000), "43.0us");
+  EXPECT_EQ(format_duration_ns(2'000'000'000), "2.00s");
+  EXPECT_EQ(format_duration_ns(999), "999ns");
+}
+
+TEST(BytesTest, PageSizeIs4K) { EXPECT_EQ(kPageSize, 4096u); }
+
+TEST(SplitMixTest, KnownAvalanche) {
+  // Adjacent inputs must differ in roughly half the bits.
+  auto a = splitmix64(1), b = splitmix64(2);
+  int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+}  // namespace
+}  // namespace nlc

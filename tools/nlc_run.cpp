@@ -1,0 +1,176 @@
+// nlc_run — command-line driver for single experiments.
+//
+//   nlc_run --workload redis --mode nilicon --seconds 8 --seed 3
+//   nlc_run --workload streamcluster --mode mc --batch-seconds 4
+//   nlc_run --workload netecho --mode nilicon --fault --kv
+//   nlc_run --list
+//
+// Prints one experiment's results as both a human summary and a single
+// JSON line (machine-scrapable for scripting sweeps).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "harness/experiment.hpp"
+
+namespace {
+
+using namespace nlc;
+
+std::optional<apps::AppSpec> find_spec(const std::string& name) {
+  if (name == "netecho") return apps::netecho_spec();
+  for (const auto& s : apps::paper_benchmarks()) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+void usage() {
+  std::printf(
+      "usage: nlc_run [options]\n"
+      "  --workload NAME    swaptions|streamcluster|redis|ssdb|node|\n"
+      "                     lighttpd|djcms|netecho (default: netecho)\n"
+      "  --mode MODE        stock|nilicon|mc (default: nilicon)\n"
+      "  --seconds N        measurement window for servers (default 6)\n"
+      "  --batch-seconds N  per-thread CPU quota for batch apps (default 3)\n"
+      "  --epoch-ms N       NiLiCon epoch length (default 30)\n"
+      "  --opt-level N      Table I cumulative optimization row 0..6\n"
+      "  --clients N        override client connections\n"
+      "  --pipeline N       override per-connection request pipeline\n"
+      "  --seed N           RNG seed (default 1)\n"
+      "  --fault            inject a fail-stop fault mid-run\n"
+      "  --kv               validating KV payloads\n"
+      "  --diskstress       run the disk/memory consistency microbenchmark\n"
+      "  --list             list workloads and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.measure = nlc::seconds(6);
+  cfg.batch_work = nlc::seconds(3);
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      auto spec = find_spec(next());
+      if (!spec) {
+        std::fprintf(stderr, "unknown workload\n");
+        return 2;
+      }
+      cfg.spec = *spec;
+    } else if (arg == "--mode") {
+      std::string m = next();
+      if (m == "stock") cfg.mode = harness::Mode::kStock;
+      else if (m == "nilicon") cfg.mode = harness::Mode::kNiLiCon;
+      else if (m == "mc") cfg.mode = harness::Mode::kMc;
+      else {
+        std::fprintf(stderr, "unknown mode\n");
+        return 2;
+      }
+    } else if (arg == "--seconds") {
+      cfg.measure = nlc::seconds(std::atoi(next()));
+    } else if (arg == "--batch-seconds") {
+      cfg.batch_work = nlc::seconds(std::atoi(next()));
+    } else if (arg == "--epoch-ms") {
+      cfg.nilicon.epoch_length = nlc::milliseconds(std::atoi(next()));
+    } else if (arg == "--opt-level") {
+      cfg.nilicon = core::Options::table1_row(std::atoi(next()));
+    } else if (arg == "--clients") {
+      cfg.client_connections = std::atoi(next());
+    } else if (arg == "--pipeline") {
+      cfg.client_pipeline = std::atoi(next());
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault") {
+      cfg.inject_fault = true;
+    } else if (arg == "--kv") {
+      cfg.kv_validation = true;
+    } else if (arg == "--diskstress") {
+      cfg.with_diskstress = true;
+    } else if (arg == "--list") {
+      std::printf("netecho\n");
+      for (const auto& s : apps::paper_benchmarks()) {
+        std::printf("%s\n", s.name.c_str());
+      }
+      return 0;
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (cfg.kv_validation && cfg.spec.kv_pages == 0) {
+    cfg.spec.kv_pages = 512;  // give non-KV workloads a store to validate
+  }
+  auto r = harness::run_experiment(cfg);
+
+  std::printf("workload=%s mode=%s seed=%llu\n", cfg.spec.name.c_str(),
+              harness::mode_name(cfg.mode),
+              static_cast<unsigned long long>(cfg.seed));
+  if (cfg.spec.interactive) {
+    std::printf("throughput: %.1f req/s, mean latency %.2fms, "
+                "%llu requests\n",
+                r.throughput_rps, r.mean_latency_ms,
+                static_cast<unsigned long long>(r.requests_completed));
+  } else {
+    std::printf("batch runtime: %.3fs (ideal %.3fs, overhead %.1f%%)\n",
+                to_seconds(r.batch_runtime), to_seconds(r.batch_ideal),
+                (static_cast<double>(r.batch_runtime) /
+                     static_cast<double>(r.batch_ideal) -
+                 1.0) * 100.0);
+  }
+  if (cfg.mode != harness::Mode::kStock) {
+    std::printf("epochs: %llu, stop %.2fms, state %.0f bytes, "
+                "dirty pages %.0f, backup %.2f cores\n",
+                static_cast<unsigned long long>(r.metrics.epochs_completed),
+                r.metrics.stop_time_ms.empty()
+                    ? 0.0 : r.metrics.stop_time_ms.mean(),
+                r.metrics.state_bytes.empty()
+                    ? 0.0 : r.metrics.state_bytes.mean(),
+                r.metrics.dirty_pages.empty()
+                    ? 0.0 : r.metrics.dirty_pages.mean(),
+                r.backup_cores);
+  }
+  if (cfg.inject_fault) {
+    std::printf("fault: recovered=%s interruption=%.0fms kv_errors=%llu "
+                "broken=%llu disk_errors=%llu\n",
+                r.recovered ? "yes" : "NO", to_millis(r.interruption),
+                static_cast<unsigned long long>(r.kv_errors),
+                static_cast<unsigned long long>(r.broken_connections),
+                static_cast<unsigned long long>(
+                    r.diskstress_errors +
+                    r.diskstress_post_failover_mismatches));
+  }
+
+  // Machine-readable line.
+  std::printf(
+      "JSON {\"workload\":\"%s\",\"mode\":\"%s\",\"seed\":%llu,"
+      "\"throughput_rps\":%.3f,\"mean_latency_ms\":%.3f,"
+      "\"batch_runtime_s\":%.6f,\"epochs\":%llu,\"stop_ms\":%.3f,"
+      "\"dirty_pages\":%.1f,\"recovered\":%s,\"kv_errors\":%llu,"
+      "\"broken_connections\":%llu}\n",
+      cfg.spec.name.c_str(), harness::mode_name(cfg.mode),
+      static_cast<unsigned long long>(cfg.seed), r.throughput_rps,
+      r.mean_latency_ms, to_seconds(r.batch_runtime),
+      static_cast<unsigned long long>(r.metrics.epochs_completed),
+      r.metrics.stop_time_ms.empty() ? 0.0 : r.metrics.stop_time_ms.mean(),
+      r.metrics.dirty_pages.empty() ? 0.0 : r.metrics.dirty_pages.mean(),
+      r.recovered ? "true" : "false",
+      static_cast<unsigned long long>(r.kv_errors),
+      static_cast<unsigned long long>(r.broken_connections));
+  bool ok = !cfg.inject_fault ||
+            (r.recovered && r.kv_errors == 0 && r.broken_connections == 0);
+  return ok ? 0 : 1;
+}
