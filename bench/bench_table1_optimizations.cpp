@@ -12,6 +12,7 @@
 #include "apps/catalog.hpp"
 #include "bench/common.hpp"
 #include "harness/experiment.hpp"
+#include "util/bytes.hpp"
 
 namespace {
 using namespace nlc;
@@ -42,7 +43,7 @@ int main() {
   std::printf("--------------------------------------------------------------"
               "--------\n");
 
-  for (int rowi = 0; rowi < 7; ++rowi) {
+  for (int rowi = 0; rowi < 8; ++rowi) {
     harness::RunConfig cfg;
     cfg.spec = spec;
     cfg.mode = harness::Mode::kNiLiCon;
@@ -50,11 +51,57 @@ int main() {
     cfg.batch_work = work;
     auto r = harness::run_experiment(cfg);
     double overhead = to_seconds(r.batch_runtime) / stock_s - 1.0;
-    std::printf("%-45s | %7.0f%% (%6.0f%%)\n",
-                core::Options::table1_row_name(rowi), overhead * 100.0,
-                kPaperOverhead[static_cast<std::size_t>(rowi)] * 100.0);
+    if (rowi < 7) {
+      std::printf("%-45s | %7.0f%% (%6.0f%%)\n",
+                  core::Options::table1_row_name(rowi), overhead * 100.0,
+                  kPaperOverhead[static_cast<std::size_t>(rowi)] * 100.0);
+    } else {
+      // Row 7 is our extension, not in the paper's table. streamcluster's
+      // working set is accounting-only, so the overhead should match row 6;
+      // the wire-byte effect is measured on the KV workload below.
+      std::printf("%-45s | %7.0f%% (   n/a)\n",
+                  core::Options::table1_row_name(rowi), overhead * 100.0);
+    }
   }
   std::printf("\nShape check: a steep monotone staircase; caching the\n"
               "infrequently-modified state is the single largest win.\n");
+
+  // ---- Delta-compression ablation (extension) -----------------------------
+  // streamcluster dirties accounting pages (version-only), which the delta
+  // stage cannot shrink. The wire-byte win shows on a content workload:
+  // redis in KV-validation mode, where SETs write real 900-byte values into
+  // 4 KiB record pages, so successive epochs re-ship mostly-unchanged pages.
+  header("Extension: dirty-page delta compression (redis, KV content)",
+         "extension beyond the paper");
+  apps::AppSpec kv = apps::redis_spec();
+  std::printf("%-32s | %14s | %14s | %s\n", "configuration",
+              "wire bytes/ep", "dirty pages/ep", "compression");
+  std::printf("--------------------------------------------------------------"
+              "--------\n");
+  double base_bytes = 0;
+  for (bool delta : {false, true}) {
+    harness::RunConfig cfg;
+    cfg.spec = kv;
+    cfg.mode = harness::Mode::kNiLiCon;
+    cfg.nilicon = core::Options::table1_row(delta ? 7 : 6);
+    cfg.kv_validation = true;
+    cfg.measure = full_mode() ? nlc::seconds(8) : nlc::seconds(3);
+    auto r = harness::run_experiment(cfg);
+    double bytes = r.metrics.state_bytes.mean();
+    if (!delta) base_bytes = bytes;
+    double ratio = r.metrics.compression_ratio.count() > 0
+                       ? r.metrics.compression_ratio.mean()
+                       : 1.0;
+    std::printf("%-32s | %12.0f B | %14.0f | wire/raw %.3f\n",
+                delta ? "+ Delta-compress dirty pages" : "All paper opts",
+                bytes, r.metrics.dirty_pages.mean(), ratio);
+    if (delta && base_bytes > 0) {
+      std::printf("\nper-epoch wire bytes reduced %.1f%% "
+                  "(%.0f MiB kept off the replication link)\n",
+                  (1.0 - bytes / base_bytes) * 100.0,
+                  static_cast<double>(r.metrics.wire_bytes_saved) /
+                      static_cast<double>(nlc::kMiB));
+    }
+  }
   return 0;
 }

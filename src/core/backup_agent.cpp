@@ -48,7 +48,7 @@ sim::task<> BackupAgent::state_loop() {
     EpochStateMsg msg = co_await state_in_->recv();
 
     // Receive-side processing: read() per chunk into the staging buffers.
-    Time recv_cost = nlc::microseconds(1200) +
+    Time recv_cost = backup_costs_.recv_base +
                      static_cast<Time>(chunk_count(msg.image)) *
                          backup_costs_.read_per_chunk;
     co_await sim.sleep_for(recv_cost);
@@ -71,7 +71,11 @@ sim::task<> BackupAgent::state_loop() {
     Time commit_cost =
         static_cast<Time>(visits) * backup_costs_.pagestore_per_visit +
         static_cast<Time>(msg.image.pages.size()) *
-            backup_costs_.commit_per_page;
+            backup_costs_.commit_per_page +
+        // Delta-compressed pages are reconstructed against the committed
+        // version while folding (decompress-and-fold, extension).
+        static_cast<Time>(msg.compressed_pages) *
+            backup_costs_.delta_fold_per_page;
     co_await sim.sleep_for(commit_cost);
     metrics_->backup_busy += commit_cost;
 
@@ -124,10 +128,13 @@ void BackupAgent::trigger_recovery() {
   sim.spawn(kernel_->domain(), recover());
 }
 
-criu::CheckpointImage BackupAgent::build_restore_image() const {
+criu::CheckpointImage BackupAgent::take_restore_image() {
   NLC_CHECK_MSG(committed_image_.has_value(),
                 "failover before the initial synchronization committed");
-  criu::CheckpointImage img = *committed_image_;
+  // Recovery runs once: move the committed records out instead of copying
+  // them (page payloads already live in the page store as shared handles).
+  criu::CheckpointImage img = std::move(*committed_image_);
+  committed_image_.reset();
   img.fs_cache.inodes.clear();
   img.fs_cache.pages.clear();
   return img;
@@ -146,7 +153,7 @@ sim::task<> BackupAgent::recover() {
   // Uncommitted buffered state dies with the primary (§IV).
   drbd_->discard_uncommitted();
 
-  criu::CheckpointImage img = build_restore_image();
+  criu::CheckpointImage img = take_restore_image();
   auto service_ip = static_cast<net::IpAddr>(img.service_ip);
 
   // Connect the container's address to this host but keep ingress blocked:

@@ -66,7 +66,7 @@ class BackupAgent {
   sim::task<> state_loop();
   sim::task<> watchdog();
   sim::task<> recover();
-  criu::CheckpointImage build_restore_image() const;
+  criu::CheckpointImage take_restore_image();
 
   Options opts_;
   kern::Kernel* kernel_;

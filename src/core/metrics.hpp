@@ -22,6 +22,16 @@ struct ReplicationMetrics {
   std::uint64_t epochs_completed = 0;
   std::uint64_t bytes_shipped = 0;
 
+  // ---- Zero-copy page pipeline + delta compression (extension) ------------
+  /// Per-epoch page-payload compression ratio (wire / raw; 1.0 = no gain).
+  Samples compression_ratio;
+  /// Page bytes the delta stage kept off the replication wire.
+  std::uint64_t wire_bytes_saved = 0;
+  /// Content-page payloads handed through the pipeline as shared handles
+  /// (each one a 4 KiB deep copy the pre-zero-copy pipeline would have
+  /// made at harvest alone).
+  std::uint64_t payload_copies_avoided = 0;
+
   /// Simulated CPU time the backup agent spent processing state (Table V).
   Time backup_busy = 0;
   /// Simulated CPU time the primary agent spent outside the container

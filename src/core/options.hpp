@@ -30,6 +30,11 @@ struct Options {
   bool staging_buffer = true;
   /// §V-D(3): parasite hands pages over shared memory instead of a pipe.
   bool pages_via_shared_memory = true;
+  /// Extension beyond the paper: XOR/run-length delta-compress each dirty
+  /// content page against its last shipped version before putting it on
+  /// the replication wire (criu/delta.hpp). Off by default so the stock
+  /// configuration matches the paper's Table I calibration.
+  bool delta_compress_pages = false;
 
   // ---- Other mechanisms ----------------------------------------------------
   /// §V-E: clamp the repaired-socket retransmission timeout to 200 ms.
@@ -47,6 +52,8 @@ struct Options {
   std::uint64_t seed = 1;
 
   /// The seven cumulative configurations of Table I, row index 0..6.
+  /// Row 7 is our ablation extension: everything plus page delta
+  /// compression.
   static Options table1_row(int row) {
     Options o;
     o.optimize_criu = row >= 1;
@@ -55,6 +62,7 @@ struct Options {
     o.vma_via_netlink = row >= 4;
     o.staging_buffer = row >= 5;
     o.pages_via_shared_memory = row >= 6;
+    o.delta_compress_pages = row >= 7;
     return o;
   }
 
@@ -67,6 +75,7 @@ struct Options {
       case 4: return "+ Obtain VMAs from netlink";
       case 5: return "+ Add memory staging buffer";
       case 6: return "+ Transfer dirty pages via shared memory";
+      case 7: return "+ Delta-compress dirty pages (extension)";
     }
     return "?";
   }

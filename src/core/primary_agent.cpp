@@ -21,11 +21,18 @@ net::IpAddr PrimaryAgent::service_ip() const {
   return static_cast<net::IpAddr>(kernel_->container(cid_)->service_ip());
 }
 
+net::PlugQdisc& PrimaryAgent::plug() {
+  // TcpStack keeps plugs in per-IP unique_ptrs, so the resolved pointer is
+  // stable for the agent's lifetime.
+  if (plug_ == nullptr) plug_ = &tcp_->plug(service_ip());
+  return *plug_;
+}
+
 sim::task<> PrimaryAgent::start() {
   sim::Simulation& sim = kernel_->simulation();
   // Output commit from the very beginning: no packet escapes without a
   // committed checkpoint behind it.
-  tcp_->plug(service_ip()).engage();
+  plug().engage();
 
   // Heartbeats start before the initial synchronization: the initial full
   // state copy takes far longer than the detector's 90 ms budget, and the
@@ -62,9 +69,10 @@ sim::task<> PrimaryAgent::wait_acked(std::uint64_t epoch) {
   }
 }
 
-Time PrimaryAgent::send_side_cost(std::uint64_t bytes, bool staged) const {
+Time PrimaryAgent::send_side_cost(const EpochStateMsg& msg, bool staged) const {
   const auto& c = ckpt_.costs();
-  double mb = static_cast<double>(bytes) / static_cast<double>(nlc::kMiB);
+  double mb = static_cast<double>(msg.wire_bytes) /
+              static_cast<double>(nlc::kMiB);
   // Staged shipping streams out of the staging buffer concurrently with
   // execution at near-wire speed; the synchronous path pays the full
   // user-space TCP copy cost while the container is paused (§V-D(2)).
@@ -76,12 +84,15 @@ Time PrimaryAgent::send_side_cost(std::uint64_t bytes, bool staged) const {
     t += static_cast<Time>(2.0 * mb *
                            static_cast<double>(c.proxy_copy_per_mb));
   }
+  // Delta encoding runs on the shipping path: staged, it overlaps the next
+  // execute phase instead of extending the pause.
+  t += static_cast<Time>(msg.compressed_pages) * c.delta_compress_per_page;
   return t;
 }
 
 sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged) {
   sim::Simulation& sim = kernel_->simulation();
-  Time cost = send_side_cost(msg.wire_bytes, staged);
+  Time cost = send_side_cost(msg, staged);
   metrics_->primary_agent_busy += cost;
   co_await sim.sleep_for(cost);
   std::uint64_t bytes = msg.wire_bytes;
@@ -132,9 +143,21 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   if (opts_.cache_infrequent_state) cache_.update(hr.image.infrequent);
   co_await sim.sleep_for(hr.cost.total());
   metrics_->primary_agent_busy += hr.cost.total();
+  metrics_->payload_copies_avoided += hr.content_pages;
 
   EpochStateMsg msg;
   msg.epoch = epoch;
+  if (opts_.delta_compress_pages) {
+    // Stamp per-page compressed wire sizes (real XOR/run-length encode
+    // against the last shipped versions); the modeled CPU cost rides the
+    // shipping path below.
+    criu::EpochDeltaStats ds = delta_.encode_epoch(hr.image);
+    msg.compressed_pages = ds.content_pages;
+    if (!initial && ds.content_pages > 0) {
+      metrics_->compression_ratio.add(ds.ratio());
+      metrics_->wire_bytes_saved += ds.raw_bytes - ds.wire_bytes;
+    }
+  }
   msg.wire_bytes = hr.image.byte_size();
   std::uint64_t dirty = hr.image.dirty_page_count();
   std::uint64_t bytes = msg.wire_bytes;
@@ -154,7 +177,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     ingress.set_mode(net::IngressFilter::Mode::kPass);
     co_await sim.sleep_for(costs.firewall_unblock_cost);
   }
-  rec.marker = tcp_->plug(service_ip()).insert_marker();
+  rec.marker = plug().insert_marker();
   rec.marker_inserted = true;
   kernel_->thaw_container(cid_);
 
@@ -172,7 +195,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   if (sync_ship) {
     // The ack arrived while the container was still paused: the epoch is
     // committed, release its buffered output now.
-    tcp_->plug(service_ip()).release_to_marker(rec.marker);
+    plug().release_to_marker(rec.marker);
     metrics_->commit_latency_ms.add(to_millis(sim.now() - rec.stop_begin));
     epoch_recs_.erase(epoch);
   } else {
@@ -191,7 +214,7 @@ sim::task<> PrimaryAgent::ack_loop() {
     ack_event_->set();
     auto it = epoch_recs_.find(ack.epoch);
     if (it != epoch_recs_.end() && it->second.marker_inserted) {
-      tcp_->plug(service_ip()).release_to_marker(it->second.marker);
+      plug().release_to_marker(it->second.marker);
       metrics_->commit_latency_ms.add(
           to_millis(kernel_->simulation().now() - it->second.stop_begin));
       epoch_recs_.erase(it);

@@ -19,6 +19,7 @@
 #include "core/protocol.hpp"
 #include "core/state_cache.hpp"
 #include "criu/checkpoint.hpp"
+#include "criu/delta.hpp"
 #include "kernel/kernel.hpp"
 #include "net/tcp.hpp"
 #include "sim/sync.hpp"
@@ -52,8 +53,12 @@ class PrimaryAgent {
   sim::task<> checkpoint_once(bool initial);
   sim::task<> ship_state(EpochStateMsg msg, bool staged);
   sim::task<> wait_acked(std::uint64_t epoch);
-  Time send_side_cost(std::uint64_t bytes, bool staged) const;
+  Time send_side_cost(const EpochStateMsg& msg, bool staged) const;
   net::IpAddr service_ip() const;
+  /// Egress plug of the service address, resolved once at start() — the
+  /// plug map lookup is off the per-epoch hot path (marker insert, release,
+  /// ack) after that.
+  net::PlugQdisc& plug();
 
   Options opts_;
   kern::Kernel* kernel_;
@@ -67,7 +72,9 @@ class PrimaryAgent {
 
   criu::CheckpointEngine ckpt_;
   InfrequentStateCache cache_;
+  criu::DeltaCodec delta_;
   Rng rng_;
+  net::PlugQdisc* plug_ = nullptr;  // cached by plug()
 
   bool running_ = true;
   std::uint64_t epoch_ = 0;

@@ -14,6 +14,9 @@ struct EpochStateMsg {
   std::uint64_t epoch = 0;
   criu::CheckpointImage image;
   std::uint64_t wire_bytes = 0;
+  /// Content pages run through the delta encoder (0 when compression off);
+  /// the primary charges encode cost, the backup decode cost, per page.
+  std::uint64_t compressed_pages = 0;
 };
 
 struct AckMsg {
@@ -39,7 +42,8 @@ inline std::uint64_t chunk_count(const criu::CheckpointImage& img) {
     return (a + b - 1) / b;
   };
   std::uint64_t n = 2;  // header + trailer
-  n += ceil_div(img.pages.size() * nlc::kPageSize, 64 * nlc::kKiB);
+  // Delta-compressed pages stream fewer bytes, hence fewer reads.
+  n += ceil_div(img.page_wire_bytes(), 64 * nlc::kKiB);
   n += ceil_div(img.socket_bytes(), 512);
   n += img.processes.size();
   n += ceil_div(img.fs_cache.byte_size(), 4 * nlc::kKiB);

@@ -134,35 +134,49 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
                                     : costs_.smaps_per_vma);
 
   // ---- Memory pages -------------------------------------------------------
+  // Payloads are handed over as shared immutable handles (one refcount bump
+  // per content page); copy-on-write in the address space keeps the image
+  // stable once the container thaws.
   std::uint64_t scanned_pages = 0;
   for (kern::Process* p : procs) {
     kern::AddressSpace& mm = p->mm();
     scanned_pages += mm.mapped_pages();
+    const auto& states = mm.page_states();
     if (opts.incremental) {
       std::vector<kern::PageNum> dirty(mm.dirty_pages().begin(),
                                        mm.dirty_pages().end());
       std::sort(dirty.begin(), dirty.end());  // deterministic image order
+      img.pages.reserve(img.pages.size() + dirty.size());
       for (kern::PageNum pg : dirty) {
+        auto it = states.find(pg);  // one probe for version + payload
+        NLC_CHECK_MSG(it != states.end(), "dirty page without state");
         PageRecord rec;
         rec.page = pg;
-        rec.version = mm.page_version(pg);
-        if (const auto* content = mm.content(pg)) rec.content = *content;
+        rec.version = it->second.version;
+        rec.content = it->second.payload;
+        if (rec.has_content()) ++r.content_pages;
         img.pages.push_back(std::move(rec));
       }
     } else {
       // Full dump: only pages that were ever touched are present — anon
       // pages never written have no physical frame and CRIU does not dump
-      // holes. Restored holes read as zeros either way.
-      for (const kern::Vma& v : mm.vmas()) {
-        for (kern::PageNum pg = v.start; pg < v.end(); ++pg) {
-          std::uint64_t version = mm.page_version(pg);
-          if (version == 0) continue;
-          PageRecord rec;
-          rec.page = pg;
-          rec.version = version;
-          if (const auto* content = mm.content(pg)) rec.content = *content;
-          img.pages.push_back(std::move(rec));
-        }
+      // holes. Restored holes read as zeros either way. Walking the
+      // resident map (instead of probing every page of every VMA) skips
+      // holes for free and avoids a per-page hash lookup.
+      std::vector<std::pair<kern::PageNum, const kern::AddressSpace::PageState*>>
+          resident;
+      resident.reserve(states.size());
+      for (const auto& [pg, st] : states) resident.emplace_back(pg, &st);
+      std::sort(resident.begin(), resident.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      img.pages.reserve(img.pages.size() + resident.size());
+      for (const auto& [pg, st] : resident) {
+        PageRecord rec;
+        rec.page = pg;
+        rec.version = st->version;
+        rec.content = st->payload;
+        if (rec.has_content()) ++r.content_pages;
+        img.pages.push_back(std::move(rec));
       }
     }
     // This checkpoint captured everything dirty: re-arm tracking.

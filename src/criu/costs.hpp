@@ -133,6 +133,10 @@ struct KernelInterfaceCosts {
   /// Staged shipping out of the staging buffer overlaps execution and is
   /// effectively zero-copy (sendfile-style); only queueing syscalls remain.
   Time staged_send_per_mb = nlc::microseconds(250);
+  /// XOR + run-length delta encoding of one 4 KiB dirty page against its
+  /// last shipped version (extension): two streaming reads + one write at
+  /// memory bandwidth, ~0.6 us/page on the paper's hosts.
+  Time delta_compress_per_page = nlc::microseconds_f(0.6);
 
   // ---- Network plumbing (§V-C, Table II) -----------------------------------
   /// iptables rule install + remove per epoch (stock input blocking).
@@ -148,6 +152,9 @@ struct KernelInterfaceCosts {
 
 /// Backup-side processing costs (page-store insertion, chunked reads).
 struct BackupCosts {
+  /// Fixed receive-side processing per epoch (socket wakeups, staging
+  /// buffer setup, header parse) before the per-chunk reads.
+  Time recv_base = nlc::microseconds(1200);
   /// Radix page store: 4 node visits per page.
   Time pagestore_per_visit = nlc::nanoseconds(350);
   /// read() syscall per arriving state chunk (Table V discussion: finer
@@ -155,6 +162,9 @@ struct BackupCosts {
   Time read_per_chunk = nlc::microseconds_f(2.2);
   /// Applying a buffered epoch to the committed store, per page.
   Time commit_per_page = nlc::microseconds_f(0.9);
+  /// Reconstructing a delta-compressed page against the committed version
+  /// while folding the epoch (extension; decode is one streaming pass).
+  Time delta_fold_per_page = nlc::microseconds_f(0.4);
 };
 
 }  // namespace nlc::criu

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/address_space.hpp"
 #include "kernel/container.hpp"
 #include "kernel/fs.hpp"
 #include "kernel/ids.hpp"
@@ -26,8 +27,16 @@ namespace nlc::criu {
 struct PageRecord {
   kern::PageNum page = 0;
   std::uint64_t version = 0;
-  /// Present for content pages; accounting pages ship size without bytes.
-  std::optional<std::vector<std::byte>> content;
+  /// Shared immutable payload for content pages; null for accounting pages
+  /// (which ship size without bytes). Copying a PageRecord bumps a refcount
+  /// instead of duplicating 4 KiB — copy-on-write in the address space
+  /// keeps the bytes frozen while any pipeline stage holds the handle.
+  kern::PagePayload content;
+  /// Modeled bytes this page occupies on the replication wire. kPageSize
+  /// unless the delta-compression stage (criu/delta.hpp) shrank it.
+  std::uint32_t wire_size = static_cast<std::uint32_t>(nlc::kPageSize);
+
+  bool has_content() const { return content != nullptr; }
 };
 
 struct ThreadRecord {
@@ -101,6 +110,14 @@ struct CheckpointImage {
 
   std::uint64_t dirty_page_count() const { return pages.size(); }
 
+  /// Modeled wire bytes of the page section (sum of per-record wire sizes;
+  /// pages.size() * kPageSize when delta compression is off).
+  std::uint64_t page_wire_bytes() const {
+    std::uint64_t n = 0;
+    for (const PageRecord& p : pages) n += p.wire_size;
+    return n;
+  }
+
   std::uint64_t socket_bytes() const {
     std::uint64_t n = 0;
     for (const auto& s : sockets) n += s.repair.byte_size();
@@ -120,7 +137,7 @@ struct CheckpointImage {
   /// Bytes on the replication wire.
   std::uint64_t byte_size() const {
     return 128 + infrequent.byte_size() + process_bytes() + socket_bytes() +
-           fs_cache.byte_size() + pages.size() * nlc::kPageSize;
+           fs_cache.byte_size() + page_wire_bytes();
   }
 };
 

@@ -28,7 +28,8 @@ class PageStore {
   virtual void begin_checkpoint(std::uint64_t epoch) = 0;
 
   /// Inserts/overwrites one page; returns the number of structure visits
-  /// performed (the unit the backup CPU cost model charges).
+  /// performed (the unit the backup CPU cost model charges). Storing a
+  /// record copies its shared payload handle, not the page bytes.
   virtual std::uint64_t store(const PageRecord& rec) = 0;
 
   /// Latest committed copy of `page`, or nullptr.

@@ -98,8 +98,10 @@ sim::task<RestoreTimeline> RestoreEngine::restore(
     for (const PageRecord* rec : committed_pages) {
       kern::Process* p = find_proc(rec->page);
       if (p == nullptr) continue;  // page of a VMA unmapped before the crash
-      if (rec->content.has_value()) {
-        p->mm().install_content(rec->page, *rec->content);
+      if (rec->has_content()) {
+        // Zero-copy: the restored address space adopts the committed
+        // payload handle; COW protects the store's copy from later writes.
+        p->mm().install_content(rec->page, rec->content);
       } else {
         p->mm().touch(rec->page);  // accounting page: versions only
       }

@@ -298,7 +298,8 @@ std::vector<std::byte> serialize_image(const CheckpointImage& img) {
   for (const PageRecord& p : img.pages) {
     w.u64(p.page);
     w.u64(p.version);
-    if (p.content.has_value()) {
+    w.u32(p.wire_size);
+    if (p.has_content()) {
       w.b(true);
       w.bytes(*p.content);
     } else {
@@ -437,7 +438,10 @@ CheckpointImage deserialize_image(std::span<const std::byte> data) {
     for (PageRecord& p : img.pages) {
       p.page = rd.u64();
       p.version = rd.u64();
-      if (rd.b()) p.content = rd.bytes();
+      p.wire_size = rd.u32();
+      if (rd.b()) {
+        p.content = std::make_shared<kern::PageBytes>(rd.bytes());
+      }
     }
   }
   rd.end_section(end);

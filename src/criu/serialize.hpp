@@ -18,7 +18,7 @@
 namespace nlc::criu {
 
 inline constexpr std::uint32_t kImageMagic = 0x4E4C4349;  // "NLCI"
-inline constexpr std::uint16_t kImageVersion = 1;
+inline constexpr std::uint16_t kImageVersion = 2;  // v2: per-page wire_size
 
 /// Serializes `img` into a self-contained byte buffer.
 std::vector<std::byte> serialize_image(const CheckpointImage& img);

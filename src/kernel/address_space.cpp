@@ -39,8 +39,7 @@ void AddressSpace::unmap(std::uint64_t vma_id) {
   NLC_CHECK_MSG(it != vmas_.end(), "unmap of unknown VMA");
   for (PageNum p = it->start; p < it->end(); ++p) {
     dirty_.erase(p);
-    versions_.erase(p);
-    content_.erase(p);
+    pages_.erase(p);
   }
   mapped_pages_ -= it->npages;
   vmas_.erase(it);
@@ -62,7 +61,7 @@ void AddressSpace::check_mapped(PageNum page) const {
 
 bool AddressSpace::touch(PageNum page) {
   check_mapped(page);
-  ++versions_[page];
+  ++pages_[page].version;
   if (!tracking_) return false;
   return dirty_.insert(page).second;
 }
@@ -78,10 +77,21 @@ std::uint64_t AddressSpace::touch_range(PageNum start, std::uint64_t count) {
 bool AddressSpace::write(PageNum page, std::uint32_t offset,
                          std::span<const std::byte> data) {
   NLC_CHECK(offset + data.size() <= kPageSize);
-  bool fault = touch(page);
-  auto& buf = content_[page];
-  if (buf.size() < kPageSize) buf.resize(kPageSize);
-  std::copy(data.begin(), data.end(), buf.begin() + offset);
+  check_mapped(page);
+  PageState& st = pages_[page];
+  ++st.version;
+  if (!st.payload) {
+    st.payload = std::make_shared<PageBytes>(kPageSize, std::byte{0});
+  } else if (st.payload.use_count() > 1) {
+    // A checkpoint image / page store / restored container still holds a
+    // handle to these bytes: clone before mutating (copy-on-write), so the
+    // captured state stays exactly what the freeze observed.
+    st.payload = std::make_shared<PageBytes>(*st.payload);
+    ++cow_clones_;
+  }
+  std::copy(data.begin(), data.end(), st.payload->begin() + offset);
+  bool fault = false;
+  if (tracking_) fault = dirty_.insert(page).second;
   return fault;
 }
 
@@ -89,24 +99,30 @@ std::vector<std::byte> AddressSpace::read(PageNum page, std::uint32_t offset,
                                           std::uint32_t len) const {
   NLC_CHECK(offset + len <= kPageSize);
   std::vector<std::byte> out(len, std::byte{0});
-  auto it = content_.find(page);
-  if (it != content_.end()) {
-    std::copy(it->second.begin() + offset, it->second.begin() + offset + len,
-              out.begin());
+  auto it = pages_.find(page);
+  if (it != pages_.end() && it->second.payload) {
+    const PageBytes& buf = *it->second.payload;
+    std::copy(buf.begin() + offset, buf.begin() + offset + len, out.begin());
   }
   return out;
 }
 
-const std::vector<std::byte>* AddressSpace::content(PageNum page) const {
-  auto it = content_.find(page);
-  return it == content_.end() ? nullptr : &it->second;
+PagePayload AddressSpace::content(PageNum page) const {
+  auto it = pages_.find(page);
+  if (it == pages_.end()) return nullptr;
+  return it->second.payload;
 }
 
-void AddressSpace::install_content(PageNum page, std::vector<std::byte> data) {
-  NLC_CHECK(data.size() == kPageSize);
-  ++versions_[page];
+void AddressSpace::install_content(PageNum page, PagePayload data) {
+  NLC_CHECK(data != nullptr && data->size() == kPageSize);
+  PageState& st = pages_[page];
+  ++st.version;
+  // Adopt the shared handle. The stored pointer is non-const because this
+  // address space owns future mutations of the page; copy-on-write in
+  // write() guarantees the adopted bytes are never modified while any other
+  // holder (image, page store) keeps its handle.
+  st.payload = std::const_pointer_cast<PageBytes>(data);
   if (tracking_) dirty_.insert(page);
-  content_[page] = std::move(data);
 }
 
 void AddressSpace::clear_soft_dirty() {
@@ -120,8 +136,8 @@ void AddressSpace::disable_tracking() {
 }
 
 std::uint64_t AddressSpace::page_version(PageNum page) const {
-  auto it = versions_.find(page);
-  return it == versions_.end() ? 0 : it->second;
+  auto it = pages_.find(page);
+  return it == pages_.end() ? 0 : it->second.version;
 }
 
 }  // namespace nlc::kern

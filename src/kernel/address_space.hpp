@@ -2,11 +2,18 @@
 //
 // Two kinds of pages coexist (DESIGN.md §5.3):
 //  * content pages — written through write(); carry real bytes that the
-//    checkpoint engine copies, so end-to-end consistency is observable;
+//    checkpoint engine captures, so end-to-end consistency is observable;
 //  * accounting pages — dirtied through touch(); carry only a version
 //    stamp. They cost a full kPageSize on the wire like real pages but do
 //    not occupy 4 KiB of simulator RAM, which keeps 100K-page working sets
 //    cheap.
+//
+// Page payloads are immutable refcounted buffers (DESIGN.md §7): content()
+// hands out a shared handle, and the whole checkpoint pipeline (harvest ->
+// image -> wire -> page store -> restore) passes that handle around instead
+// of deep-copying 4 KiB per stage. write() copies-on-write only when the
+// payload is shared, so a post-thaw write can never mutate bytes already
+// captured in an in-flight or committed checkpoint image.
 //
 // Soft-dirty tracking mirrors Linux's /proc/pid/clear_refs + pagemap
 // protocol: clear_soft_dirty() arms tracking and clears the bits;
@@ -15,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -26,6 +34,12 @@
 #include "util/bytes.hpp"
 
 namespace nlc::kern {
+
+/// One page's content bytes (always kPageSize once materialized).
+using PageBytes = std::vector<std::byte>;
+/// Immutable shared handle to a page payload; the unit the checkpoint
+/// pipeline passes instead of copies. Null for accounting pages.
+using PagePayload = std::shared_ptr<const PageBytes>;
 
 enum class VmaKind : std::uint8_t {
   kAnon,      // heap / anonymous mmap
@@ -48,6 +62,15 @@ struct Vma {
 
 class AddressSpace {
  public:
+  /// Per-page resident state: monotone version plus the (possibly null)
+  /// content payload. Exposed so the checkpoint engine can walk residents
+  /// with one hash lookup per page instead of separate version/content
+  /// probes.
+  struct PageState {
+    std::uint64_t version = 0;
+    std::shared_ptr<PageBytes> payload;  // null for accounting pages
+  };
+
   /// Maps a new VMA of `npages`; returns its descriptor. Page numbers are
   /// allocated from a monotone bump allocator (no reuse; simulated
   /// processes are short-lived enough).
@@ -85,19 +108,23 @@ class AddressSpace {
   std::uint64_t touch_range(PageNum start, std::uint64_t count);
 
   /// Content write within one page; dirties it. Returns true on a write
-  /// fault (as touch()).
+  /// fault (as touch()). Clones the payload first iff a checkpoint handle
+  /// to it is still live (copy-on-write).
   bool write(PageNum page, std::uint32_t offset, std::span<const std::byte> data);
 
   /// Reads content previously written to `page`. Unwritten bytes read as 0.
   std::vector<std::byte> read(PageNum page, std::uint32_t offset,
                               std::uint32_t len) const;
 
-  /// Full-page content for the checkpoint engine; nullptr for accounting
-  /// pages (no stored bytes).
-  const std::vector<std::byte>* content(PageNum page) const;
+  /// Full-page content handle for the checkpoint engine; null for
+  /// accounting pages (no stored bytes). The returned payload is immutable:
+  /// holding it pins the bytes as of this call regardless of later writes.
+  PagePayload content(PageNum page) const;
 
-  /// Installs page content wholesale (restore path).
-  void install_content(PageNum page, std::vector<std::byte> data);
+  /// Installs page content wholesale (restore path). Zero-copy: adopts the
+  /// shared payload; a later write() clones before mutating while the
+  /// source image still holds the handle.
+  void install_content(PageNum page, PagePayload data);
 
   /// Arms soft-dirty tracking and clears all soft-dirty bits
   /// (/proc/pid/clear_refs). Idempotent.
@@ -112,8 +139,19 @@ class AddressSpace {
   /// caller's job; iteration order is unspecified.
   const std::unordered_set<PageNum>& dirty_pages() const { return dirty_; }
 
+  /// All resident pages (ever touched/written); iteration order is
+  /// unspecified. Full dumps walk this instead of probing every page of
+  /// every VMA.
+  const std::unordered_map<PageNum, PageState>& page_states() const {
+    return pages_;
+  }
+
   /// Per-page monotone version, for tests asserting incremental semantics.
   std::uint64_t page_version(PageNum page) const;
+
+  /// Number of copy-on-write payload clones performed (a write hit a page
+  /// whose payload was still referenced by a checkpoint image/store).
+  std::uint64_t cow_clones() const { return cow_clones_; }
 
  private:
   void check_mapped(PageNum page) const;
@@ -124,8 +162,8 @@ class AddressSpace {
   std::uint64_t mapped_pages_ = 0;
   bool tracking_ = false;
   std::unordered_set<PageNum> dirty_;
-  std::unordered_map<PageNum, std::uint64_t> versions_;
-  std::unordered_map<PageNum, std::vector<std::byte>> content_;
+  std::unordered_map<PageNum, PageState> pages_;
+  std::uint64_t cow_clones_ = 0;
 };
 
 }  // namespace nlc::kern

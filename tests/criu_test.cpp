@@ -74,11 +74,13 @@ TYPED_TEST(PageStoreTypedTest, AllPagesReturnsLatestVersions) {
 TYPED_TEST(PageStoreTypedTest, ContentPreserved) {
   this->store_.begin_checkpoint(1);
   PageRecord r = rec(5);
-  r.content = std::vector<std::byte>(kPageSize, std::byte{0x7F});
+  r.content = std::make_shared<kern::PageBytes>(kPageSize, std::byte{0x7F});
   this->store_.store(r);
   const PageRecord* back = this->store_.lookup(5);
-  ASSERT_TRUE(back->content.has_value());
+  ASSERT_TRUE(back->has_content());
   EXPECT_EQ((*back->content)[0], std::byte{0x7F});
+  // Zero-copy: the store holds a handle to the same buffer, not a copy.
+  EXPECT_EQ(back->content.get(), r.content.get());
 }
 
 TYPED_TEST(PageStoreTypedTest, SparsePageNumbers) {
@@ -388,6 +390,56 @@ TEST(RestoreTest, FullRoundTripPreservesState) {
   EXPECT_EQ(tl.pages_restored, 50u);
   EXPECT_GT(tl.total(), 100_ms);  // restore is expensive (Table II)
   EXPECT_GT(tl.sockets_done, tl.namespaces_done);
+}
+
+// Zero-copy pipeline aliasing: harvest hands out shared payload handles,
+// so a post-thaw write must copy-on-write rather than mutate the bytes the
+// in-flight image / committed store / restored container already captured.
+TEST(RestoreTest, PostThawWritesDoNotAliasShippedImage) {
+  CriuRig r;
+  kern::Container& c = r.make_container();
+  kern::Process& p = r.primary.create_process(c.id(), "srv");
+  auto vma = p.mm().map(4, kern::VmaKind::kAnon);
+  std::vector<std::byte> v1(kPageSize, std::byte{0x11});
+  p.mm().write(vma.start, 0, v1);
+
+  r.primary.freeze_container(c.id());
+  HarvestOptions opts;
+  opts.incremental = false;
+  auto res = r.ckpt.harvest(c.id(), 0, nullptr, opts);
+  RadixPageStore store;
+  store.begin_checkpoint(0);
+  for (const auto& pg : res.image.pages) store.store(pg);
+  r.primary.thaw_container(c.id());
+
+  // The container keeps running and overwrites the page.
+  std::vector<std::byte> v2(kPageSize, std::byte{0x22});
+  p.mm().write(vma.start, 0, v2);
+  EXPECT_GE(p.mm().cow_clones(), 1u);
+
+  // Neither the staged image nor the committed store saw the new bytes.
+  ASSERT_TRUE(res.image.pages[0].has_content());
+  EXPECT_EQ((*res.image.pages[0].content)[0], std::byte{0x11});
+  const PageRecord* committed = store.lookup(vma.start);
+  ASSERT_NE(committed, nullptr);
+  EXPECT_EQ((*committed->content)[0], std::byte{0x11});
+
+  // Restore from the store: the backup materializes the checkpointed bytes.
+  r.s.spawn(r.backup_dom, [](CriuRig& rr, const HarvestResult& hr,
+                             RadixPageStore& st) -> task<> {
+    (void)co_await rr.rest.restore(hr.image, st.all_pages(), {}, true);
+  }(r, res, store));
+  r.s.run();
+  kern::Process* bp = r.backup.process(p.pid());
+  ASSERT_NE(bp, nullptr);
+  auto restored = bp->mm().read(vma.start, 0, 4);
+  EXPECT_EQ(restored[0], std::byte{0x11});
+
+  // And writes in the restored container clone too: the store's committed
+  // copy (shared with the restored address space) stays frozen.
+  std::vector<std::byte> v3(kPageSize, std::byte{0x33});
+  bp->mm().write(vma.start, 0, v3);
+  EXPECT_EQ((*store.lookup(vma.start)->content)[0], std::byte{0x11});
 }
 
 TEST(RestoreTest, TimelineStagesAreOrdered) {

@@ -113,10 +113,39 @@ TEST(AddressSpaceTest, ContentPageHasFullPageBuffer) {
   AddressSpace as;
   auto start = as.map(1, VmaKind::kAnon).start;
   as.write(start, 0, bytes_of("x"));
-  const auto* c = as.content(start);
+  PagePayload c = as.content(start);
   ASSERT_NE(c, nullptr);
   EXPECT_EQ(c->size(), kPageSize);
   EXPECT_EQ(as.content(start + 100), nullptr);
+}
+
+TEST(AddressSpaceTest, ContentHandleIsImmutableAcrossWrites) {
+  // The zero-copy pipeline's core guarantee: a handle taken at checkpoint
+  // time pins the bytes; a later write clones (copy-on-write) instead of
+  // mutating the shared payload.
+  AddressSpace as;
+  auto start = as.map(1, VmaKind::kAnon).start;
+  as.write(start, 0, bytes_of("before"));
+  PagePayload snapshot = as.content(start);
+  EXPECT_EQ(as.cow_clones(), 0u);
+
+  as.write(start, 0, bytes_of("AFTER!"));
+  EXPECT_EQ(as.cow_clones(), 1u);
+  EXPECT_EQ(0, std::memcmp(snapshot->data(), "before", 6));
+  auto now = as.read(start, 0, 6);
+  EXPECT_EQ(0, std::memcmp(now.data(), "AFTER!", 6));
+  // The clone broke sharing: further writes mutate in place.
+  as.write(start, 0, bytes_of("third!"));
+  EXPECT_EQ(as.cow_clones(), 1u);
+}
+
+TEST(AddressSpaceTest, DroppingHandlesRestoresInPlaceWrites) {
+  AddressSpace as;
+  auto start = as.map(1, VmaKind::kAnon).start;
+  as.write(start, 0, bytes_of("a"));
+  { PagePayload h = as.content(start); }  // handle dropped immediately
+  as.write(start, 1, bytes_of("b"));
+  EXPECT_EQ(as.cow_clones(), 0u);
 }
 
 TEST(AddressSpaceTest, AccessToUnmappedPageThrows) {

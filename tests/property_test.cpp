@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/catalog.hpp"
+#include "criu/delta.hpp"
 #include "criu/pagestore.hpp"
 #include "harness/experiment.hpp"
 #include "util/rng.hpp"
@@ -62,7 +63,51 @@ TEST_P(OptimizationLevels, FailoverCorrectAtEveryLevel) {
   EXPECT_EQ(r.broken_connections, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllRows, OptimizationLevels, ::testing::Range(0, 7));
+// Row 7 = delta compression (extension): correctness must hold there too.
+INSTANTIATE_TEST_SUITE_P(AllRows, OptimizationLevels, ::testing::Range(0, 8));
+
+// ---- Invariant: the delta codec round-trips bit-exactly for arbitrary
+// ---- page pairs, and never produces a wire size above the raw page.
+
+class DeltaCodecRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaCodecRoundTrip, ApplyInvertsEncode) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ull + 3);
+  kern::PageBytes prev(nlc::kPageSize);
+  for (auto& b : prev) {
+    b = static_cast<std::byte>(rng.uniform(0, 255));
+  }
+  // Mutate a random number of random-length runs of the previous page.
+  kern::PageBytes cur = prev;
+  int mutations = static_cast<int>(rng.uniform(0, 40));
+  for (int m = 0; m < mutations; ++m) {
+    auto off = static_cast<std::size_t>(rng.uniform(0, nlc::kPageSize - 1));
+    auto len = std::min(static_cast<std::size_t>(rng.uniform(1, 300)),
+                        nlc::kPageSize - off);
+    for (std::size_t i = 0; i < len; ++i) {
+      cur[off + i] = static_cast<std::byte>(rng.uniform(0, 255));
+    }
+  }
+
+  criu::PageDelta d = criu::delta_encode(&prev, cur);
+  EXPECT_LE(d.wire_size, nlc::kPageSize);
+  kern::PageBytes decoded = criu::delta_apply(&prev, d, &cur);
+  EXPECT_EQ(decoded, cur);
+
+  if (mutations == 0) {
+    // Unchanged page: only framing ships.
+    EXPECT_FALSE(d.raw);
+    EXPECT_EQ(d.wire_size, criu::kDeltaPageHeader);
+  }
+
+  // No reference => raw at full page cost, still correct.
+  criu::PageDelta raw = criu::delta_encode(nullptr, cur);
+  EXPECT_TRUE(raw.raw);
+  EXPECT_EQ(raw.wire_size, nlc::kPageSize);
+  EXPECT_EQ(criu::delta_apply(nullptr, raw, &cur), cur);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pages, DeltaCodecRoundTrip, ::testing::Range(0, 16));
 
 // ---- Invariant: response latency under protection is bounded below by
 // ---- the commit delay and runs do not lose requests (epoch sweep).

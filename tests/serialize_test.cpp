@@ -82,7 +82,8 @@ CheckpointImage sample_image() {
   PageRecord pr;
   pr.page = 0x1005;
   pr.version = 12;
-  pr.content = std::vector<std::byte>(kPageSize, std::byte{0x42});
+  pr.content = std::make_shared<kern::PageBytes>(kPageSize, std::byte{0x42});
+  pr.wire_size = 916;  // delta-compressed on the wire
   img.pages.push_back(pr);
   PageRecord accounting;
   accounting.page = 0x1006;
@@ -136,9 +137,11 @@ TEST(SerializeTest, RoundTripPreservesEverything) {
   EXPECT_EQ(back.fs_cache.pages[0].data[0], std::byte{0x7E});
 
   ASSERT_EQ(back.pages.size(), 2u);
-  ASSERT_TRUE(back.pages[0].content.has_value());
+  ASSERT_TRUE(back.pages[0].has_content());
   EXPECT_EQ((*back.pages[0].content)[100], std::byte{0x42});
-  EXPECT_FALSE(back.pages[1].content.has_value());
+  EXPECT_EQ(back.pages[0].wire_size, 916u);
+  EXPECT_FALSE(back.pages[1].has_content());
+  EXPECT_EQ(back.pages[1].wire_size, kPageSize);
 }
 
 TEST(SerializeTest, EmptyImageRoundTrips) {

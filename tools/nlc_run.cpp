@@ -36,7 +36,8 @@ void usage() {
       "  --seconds N        measurement window for servers (default 6)\n"
       "  --batch-seconds N  per-thread CPU quota for batch apps (default 3)\n"
       "  --epoch-ms N       NiLiCon epoch length (default 30)\n"
-      "  --opt-level N      Table I cumulative optimization row 0..6\n"
+      "  --opt-level N      Table I cumulative optimization row 0..7\n"
+      "                     (7 = all + delta-compressed dirty pages)\n"
       "  --clients N        override client connections\n"
       "  --pipeline N       override per-connection request pipeline\n"
       "  --seed N           RNG seed (default 1)\n"
