@@ -58,7 +58,7 @@ int main() {
   // Restore on the other host, like `criu restore`.
   criu::RestoreEngine restore(*cluster.backup_kernel, cluster.backup_tcp);
   criu::RestoreTimeline tl;
-  cluster.sim.spawn([](core::Cluster& cl, criu::RestoreEngine& eng,
+  cluster.sim.spawn([](core::Cluster&, criu::RestoreEngine& eng,
                        const criu::CheckpointImage& img,
                        criu::RadixPageStore& st,
                        criu::RestoreTimeline& out) -> sim::task<> {

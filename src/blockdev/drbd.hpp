@@ -70,6 +70,19 @@ class DrbdPrimary : public kern::BlockStore {
   net::Channel<DrbdMessage>* channel_;
 };
 
+/// Observer seam for the invariant auditor (src/check): reports when
+/// buffered epochs reach the backup disk and when the uncommitted tail is
+/// dropped at failover.
+class DrbdObserver {
+ public:
+  virtual ~DrbdObserver() = default;
+  /// One buffered epoch's writes were applied to the backup disk.
+  virtual void on_drbd_epoch_applied(std::uint64_t epoch,
+                                     std::uint64_t writes) = 0;
+  /// Failover discarded `writes` buffered, uncommitted writes.
+  virtual void on_drbd_discard(std::uint64_t writes) = 0;
+};
+
 /// Backup-side DRBD: receives writes, buffers per epoch, commits on demand.
 class DrbdBackup {
  public:
@@ -86,6 +99,7 @@ class DrbdBackup {
         pending_.push_back(std::move(*w));
       } else {
         last_barrier_ = std::get<Barrier>(m).epoch;
+        any_barrier_ = true;
         epochs_.push_back(EpochWrites{last_barrier_, std::move(pending_)});
         pending_.clear();
         barrier_arrived_.set();
@@ -96,7 +110,11 @@ class DrbdBackup {
   /// Awaits arrival of the barrier for `epoch` (all of that epoch's writes
   /// are then buffered).
   sim::task<> wait_barrier(std::uint64_t epoch) {
-    while (last_barrier_ < epoch) {
+    // last_barrier_ == 0 also covers "no barrier yet" (epochs are 0-based):
+    // without the flag, epoch 0 would be acknowledged before its disk
+    // writes were buffered here, and a crash right after the epoch-0 commit
+    // would lose them.
+    while (!any_barrier_ || last_barrier_ < epoch) {
       barrier_arrived_.reset();
       co_await barrier_arrived_.wait();
     }
@@ -110,6 +128,10 @@ class DrbdBackup {
         ++writes_committed_;
       }
       committed_epoch_ = epochs_.front().epoch;
+      if (observer_ != nullptr) {
+        observer_->on_drbd_epoch_applied(epochs_.front().epoch,
+                                         epochs_.front().writes.size());
+      }
       epochs_.pop_front();
     }
   }
@@ -117,9 +139,14 @@ class DrbdBackup {
   /// Failover: drops every buffered write of uncommitted epochs (including
   /// writes not yet closed by a barrier).
   void discard_uncommitted() {
+    std::uint64_t dropped = buffered_writes();
     epochs_.clear();
     pending_.clear();
+    if (observer_ != nullptr) observer_->on_drbd_discard(dropped);
   }
+
+  /// Installs (or clears, with nullptr) the audit observer.
+  void set_observer(DrbdObserver* o) { observer_ = o; }
 
   Disk& local_disk() { return *local_; }
   std::uint64_t committed_epoch() const { return committed_epoch_; }
@@ -140,10 +167,12 @@ class DrbdBackup {
   sim::Simulation* sim_;
   Disk* local_;
   net::Channel<DrbdMessage>* channel_;
+  DrbdObserver* observer_ = nullptr;
   sim::Event barrier_arrived_;
   std::vector<DiskWrite> pending_;
   std::deque<EpochWrites> epochs_;
   std::uint64_t last_barrier_ = 0;
+  bool any_barrier_ = false;
   std::uint64_t committed_epoch_ = 0;
   std::uint64_t writes_committed_ = 0;
 };

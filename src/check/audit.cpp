@@ -1,0 +1,203 @@
+#include "check/audit.hpp"
+
+#include <utility>
+
+#include "kernel/kernel.hpp"
+#include "kernel/process.hpp"
+
+namespace nlc::check {
+
+InvariantAuditor::InvariantAuditor(core::Cluster& cluster,
+                                   kern::ContainerId cid,
+                                   const core::Options& opts)
+    : cluster_(&cluster), cid_(cid), level_(opts.audit_level),
+      delta_enabled_(opts.delta_compress_pages) {
+  NLC_CHECK_MSG(level_ != core::AuditLevel::kOff,
+                "constructing an auditor with auditing off");
+  NLC_CHECK_MSG(cluster.primary_agent != nullptr &&
+                    cluster.backup_agent != nullptr,
+                "auditor needs both agents (attach from on_agents_created)");
+  const kern::Container* cont = cluster.primary_kernel->container(cid);
+  NLC_CHECK_MSG(cont != nullptr, "auditing an unknown container");
+  plug_ = &cluster.primary_tcp.plug(
+      static_cast<net::IpAddr>(cont->service_ip()));
+}
+
+InvariantAuditor::~InvariantAuditor() { detach(); }
+
+void InvariantAuditor::attach() {
+  if (attached_) return;
+  plug_->set_observer(this);
+  cluster_->primary_agent->set_audit_hooks(this);
+  cluster_->backup_agent->set_audit_hooks(this);
+  cluster_->drbd_backup->set_observer(this);
+  if (level_ == core::AuditLevel::kContinuous) {
+    cluster_->sim.set_audit_probe([this] { sweep(); }, kProbeEveryEvents);
+  }
+  attached_ = true;
+}
+
+void InvariantAuditor::detach() {
+  if (!attached_) return;
+  plug_->set_observer(nullptr);
+  if (cluster_->primary_agent) cluster_->primary_agent->set_audit_hooks(nullptr);
+  if (cluster_->backup_agent) cluster_->backup_agent->set_audit_hooks(nullptr);
+  cluster_->drbd_backup->set_observer(nullptr);
+  if (level_ == core::AuditLevel::kContinuous) {
+    cluster_->sim.set_audit_probe(nullptr);
+  }
+  attached_ = false;
+}
+
+AuditStats InvariantAuditor::stats() const {
+  AuditStats st;
+  st.output_commit_checks = occ_.checks();
+  st.epoch_commit_checks = epoch_.checks();
+  st.payload_pins = freeze_.pins();
+  st.payload_verifications = freeze_.verifications();
+  st.store_equivalence_checks = store_.checks();
+  st.delta_replay_checks = delta_.checks();
+  st.restore_equivalence_checks = restore_equiv_checks_;
+  st.sweeps = sweeps_;
+  return st;
+}
+
+void InvariantAuditor::final_audit() {
+  freeze_.verify_all();
+  NLC_CHECK_MSG(occ_.mirrored_packets() == plug_->pending_packets(),
+                "audit: plug buffer diverged from the output-commit mirror");
+}
+
+// ---------------------------------------------------------------------------
+// Plug (primary egress)
+
+void InvariantAuditor::on_plug_enqueue(const net::Packet&) {
+  occ_.packet_buffered();
+}
+
+void InvariantAuditor::on_plug_marker(std::uint64_t marker) {
+  last_plug_marker_ = marker;
+  saw_plug_marker_ = true;
+}
+
+void InvariantAuditor::on_plug_release(std::uint64_t marker,
+                                       std::uint64_t packets) {
+  std::uint64_t expected =
+      std::exchange(pending_release_epoch_, OutputCommitChecker::kAnyEpoch);
+  occ_.released(marker, packets, expected);
+}
+
+void InvariantAuditor::on_plug_discard(std::uint64_t packets) {
+  occ_.discarded(packets);
+}
+
+// ---------------------------------------------------------------------------
+// Primary agent
+
+void InvariantAuditor::on_state_ready(const core::EpochStateMsg& msg,
+                                      bool initial) {
+  NLC_CHECK_MSG(msg.epoch == msg.image.epoch,
+                "audit: state message and image disagree on the epoch");
+  NLC_CHECK_MSG(msg.image.full == initial,
+                "audit: only the initial synchronization ships a full image");
+  if (level_ == core::AuditLevel::kContinuous) {
+    // The payloads in this image must stay frozen from here through ship,
+    // fold and store residency, no matter what the container writes next.
+    pin_image_payloads(msg.image);
+    delta_.replay(msg.image, delta_enabled_);
+  }
+}
+
+void InvariantAuditor::on_marker_inserted(std::uint64_t epoch,
+                                          std::uint64_t marker) {
+  NLC_CHECK_MSG(saw_plug_marker_ && marker == last_plug_marker_,
+                "audit: agent marker does not match the plug's last marker");
+  occ_.marker_inserted(epoch, marker);
+}
+
+void InvariantAuditor::on_ack_received(std::uint64_t epoch) {
+  occ_.ack_received(epoch);
+}
+
+void InvariantAuditor::on_release(std::uint64_t epoch) {
+  pending_release_epoch_ = epoch;
+}
+
+// ---------------------------------------------------------------------------
+// Backup agent
+
+void InvariantAuditor::on_ack_sent(std::uint64_t epoch,
+                                   std::uint64_t last_barrier) {
+  epoch_.ack_sent(epoch, last_barrier);
+}
+
+void InvariantAuditor::on_commit_begin(std::uint64_t epoch) {
+  epoch_.commit_begin(epoch);
+}
+
+void InvariantAuditor::on_commit(const core::EpochStateMsg& msg) {
+  store_.check(cluster_->backup_agent->page_store(), msg.image);
+  epoch_.committed(msg.epoch);
+  if (level_ == core::AuditLevel::kContinuous) {
+    // The fold copied shared handles; any mutation since harvest would
+    // show here and in the budgeted re-fingerprint.
+    freeze_.verify_budget(kVerifyBudget);
+  }
+}
+
+void InvariantAuditor::on_recovery_started(std::uint64_t committed_epoch) {
+  epoch_.recovery_started(committed_epoch);
+}
+
+void InvariantAuditor::on_recovered(std::uint64_t committed_epoch) {
+  epoch_.recovered(committed_epoch);
+  // Restored memory must equal the committed page store byte for byte:
+  // walk the restored container's resident content pages before the
+  // application resumes and compare against the store's committed copies.
+  const criu::PageStore& store = cluster_->backup_agent->page_store();
+  for (const kern::Process* p :
+       std::as_const(*cluster_->backup_kernel).container_processes(cid_)) {
+    for (const auto& [page, state] : p->mm().page_states()) {
+      if (!state.payload) continue;
+      const criu::PageRecord* rec = store.lookup(page);
+      NLC_CHECK_MSG(rec != nullptr,
+                    "audit: restored content page missing from the store");
+      NLC_CHECK_MSG(rec->content != nullptr,
+                    "audit: restored bytes for an accounting-only page");
+      if (rec->content.get() != state.payload.get()) {
+        NLC_CHECK_MSG(*rec->content == *state.payload,
+                      "audit: restored memory diverged from the committed "
+                      "page store");
+      }
+      ++restore_equiv_checks_;
+    }
+  }
+  if (level_ == core::AuditLevel::kContinuous) freeze_.verify_all();
+}
+
+// ---------------------------------------------------------------------------
+// DRBD (backup disk buffer)
+
+void InvariantAuditor::on_drbd_epoch_applied(std::uint64_t epoch,
+                                             std::uint64_t /*writes*/) {
+  epoch_.drbd_applied(epoch);
+}
+
+void InvariantAuditor::on_drbd_discard(std::uint64_t /*writes*/) {
+  epoch_.drbd_discarded();
+}
+
+// ---------------------------------------------------------------------------
+
+void InvariantAuditor::sweep() {
+  ++sweeps_;
+  NLC_CHECK_MSG(occ_.mirrored_packets() == plug_->pending_packets(),
+                "audit: plug buffer diverged from the output-commit mirror");
+  freeze_.verify_budget(kVerifyBudget);
+}
+
+void InvariantAuditor::pin_image_payloads(const criu::CheckpointImage& img) {
+  for (const criu::PageRecord& rec : img.pages) freeze_.pin(rec.content);
+}
+
+}  // namespace nlc::check

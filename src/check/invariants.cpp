@@ -1,0 +1,262 @@
+#include "check/invariants.hpp"
+
+namespace nlc::check {
+
+std::uint64_t fnv1a_page(const kern::PageBytes& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// OutputCommitChecker
+
+void OutputCommitChecker::marker_inserted(std::uint64_t epoch,
+                                          std::uint64_t marker) {
+  if (!segments_.empty()) {
+    NLC_CHECK_MSG(marker > segments_.back().marker,
+                  "audit: plug markers must be strictly increasing");
+    NLC_CHECK_MSG(epoch > segments_.back().epoch,
+                  "audit: marker epochs must be strictly increasing");
+  }
+  segments_.push_back(Segment{epoch, marker, open_packets_});
+  open_packets_ = 0;
+}
+
+void OutputCommitChecker::ack_received(std::uint64_t epoch) {
+  NLC_CHECK_MSG(!has_ack_ || epoch > acked_,
+                "audit: primary received acks out of order");
+  acked_ = epoch;
+  has_ack_ = true;
+}
+
+void OutputCommitChecker::released(std::uint64_t marker, std::uint64_t packets,
+                                   std::uint64_t expected_epoch) {
+  // The plug releases in FIFO order up to `marker`; every segment at or
+  // before it carries output of an epoch the backup must already have
+  // acknowledged — the output-commit property, checked per packet batch.
+  std::uint64_t covered = 0;
+  bool matched = false;
+  while (!segments_.empty() && segments_.front().marker <= marker) {
+    const Segment& seg = segments_.front();
+    NLC_CHECK_MSG(has_ack_ && seg.epoch <= acked_,
+                  "audit: output released before the backup acknowledged its "
+                  "epoch (output commit violated)");
+    if (seg.marker == marker) {
+      matched = true;
+      NLC_CHECK_MSG(
+          expected_epoch == kAnyEpoch || seg.epoch == expected_epoch,
+          "audit: released marker does not belong to the committing epoch");
+    }
+    covered += seg.packets;
+    segments_.pop_front();
+    ++checks_;
+  }
+  NLC_CHECK_MSG(matched, "audit: plug released a marker the mirror never saw");
+  NLC_CHECK_MSG(covered == packets,
+                "audit: plug released a different packet count than the "
+                "mirror buffered for those epochs");
+}
+
+void OutputCommitChecker::discarded(std::uint64_t packets) {
+  // Failover: dropping uncommitted output is always legal, but the count
+  // must match the mirror or packets leaked out of (or into) the buffer.
+  NLC_CHECK_MSG(packets == mirrored_packets(),
+                "audit: plug discard count diverged from the mirror");
+  segments_.clear();
+  open_packets_ = 0;
+  ++checks_;
+}
+
+std::uint64_t OutputCommitChecker::mirrored_packets() const {
+  std::uint64_t n = open_packets_;
+  for (const Segment& seg : segments_) n += seg.packets;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// EpochCommitChecker
+
+void EpochCommitChecker::ack_sent(std::uint64_t epoch,
+                                  std::uint64_t last_barrier) {
+  NLC_CHECK_MSG(epoch == next_ack_,
+                "audit: backup acks must be sequential, exactly once");
+  NLC_CHECK_MSG(last_barrier >= epoch,
+                "audit: ack sent before the epoch's DRBD barrier arrived");
+  ++next_ack_;
+  ++checks_;
+}
+
+void EpochCommitChecker::commit_begin(std::uint64_t epoch) {
+  NLC_CHECK_MSG(!folding_, "audit: overlapping backup state commits");
+  NLC_CHECK_MSG(epoch == next_commit_,
+                "audit: backup commits must be sequential, exactly once");
+  NLC_CHECK_MSG(epoch < next_ack_,
+                "audit: commit of an epoch that was never acknowledged");
+  folding_ = true;
+  fold_epoch_ = epoch;
+  ++checks_;
+}
+
+void EpochCommitChecker::committed(std::uint64_t epoch) {
+  NLC_CHECK_MSG(folding_ && epoch == fold_epoch_,
+                "audit: commit completion does not match the open fold");
+  folding_ = false;
+  ++next_commit_;
+  ++checks_;
+}
+
+void EpochCommitChecker::drbd_applied(std::uint64_t epoch) {
+  // Buffered disk writes reach the backup disk only inside the fold of a
+  // state-committed epoch and never ahead of it (§IV: disk and memory
+  // state commit atomically per epoch).
+  NLC_CHECK_MSG(folding_,
+                "audit: DRBD epoch applied outside a state commit fold");
+  NLC_CHECK_MSG(epoch <= fold_epoch_,
+                "audit: DRBD applied disk writes of a future epoch");
+  NLC_CHECK_MSG(epoch >= last_applied_,
+                "audit: DRBD applied epochs out of order");
+  last_applied_ = epoch;
+  ++checks_;
+}
+
+void EpochCommitChecker::drbd_discarded() {
+  NLC_CHECK_MSG(in_recovery_,
+                "audit: uncommitted DRBD writes discarded outside failover");
+  ++checks_;
+}
+
+void EpochCommitChecker::recovery_started(std::uint64_t committed_epoch) {
+  NLC_CHECK_MSG(!in_recovery_ && !recovered_,
+                "audit: recovery started twice");
+  // A fold may still be in flight (recover() waits for it); the restore
+  // point must cover at least every fully committed epoch so far.
+  NLC_CHECK_MSG(next_commit_ == 0 || committed_epoch + 1 >= next_commit_,
+                "audit: recovery forgot already-committed epochs");
+  in_recovery_ = true;
+  ++checks_;
+}
+
+void EpochCommitChecker::recovered(std::uint64_t committed_epoch) {
+  NLC_CHECK_MSG(in_recovery_, "audit: recovered without recovery_started");
+  NLC_CHECK_MSG(!folding_, "audit: recovery finished with an open fold");
+  NLC_CHECK_MSG(next_commit_ > 0 && committed_epoch == next_commit_ - 1,
+                "audit: restore point is not the newest committed epoch "
+                "(exactly-once commit violated)");
+  in_recovery_ = false;
+  recovered_ = true;
+  ++checks_;
+}
+
+// ---------------------------------------------------------------------------
+// PayloadFreezeGuard
+
+void PayloadFreezeGuard::pin(const kern::PagePayload& payload) {
+  if (!payload) return;
+  const kern::PageBytes* key = payload.get();
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted && !it->second.ref.expired()) return;  // already pinned
+  // First sight — or the allocator reused the address of a retired payload.
+  it->second.ref = payload;
+  it->second.fingerprint = fnv1a_page(*payload);
+  ++pins_;
+}
+
+void PayloadFreezeGuard::verify_entry(
+    std::unordered_map<const kern::PageBytes*, Entry>::iterator it) {
+  std::shared_ptr<const kern::PageBytes> live = it->second.ref.lock();
+  if (!live) {
+    // Every pipeline stage dropped its handle; the payload may be gone.
+    entries_.erase(it);
+    return;
+  }
+  NLC_CHECK_MSG(fnv1a_page(*live) == it->second.fingerprint,
+                "audit: frozen COW page payload mutated while the "
+                "checkpoint pipeline still references it");
+  ++verifications_;
+}
+
+void PayloadFreezeGuard::verify_all() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    verify_entry(it++);
+  }
+  cycle_.clear();
+  cycle_pos_ = 0;
+}
+
+void PayloadFreezeGuard::verify_budget(std::uint64_t budget) {
+  for (std::uint64_t done = 0; done < budget; ++done) {
+    if (cycle_pos_ >= cycle_.size()) {
+      cycle_.clear();
+      cycle_pos_ = 0;
+      cycle_.reserve(entries_.size());
+      for (const auto& [key, entry] : entries_) cycle_.push_back(key);
+      if (cycle_.empty()) return;
+    }
+    auto it = entries_.find(cycle_[cycle_pos_++]);
+    if (it != entries_.end()) verify_entry(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StoreEquivalenceChecker
+
+void StoreEquivalenceChecker::check(const criu::PageStore& store,
+                                    const criu::CheckpointImage& img) {
+  for (const criu::PageRecord& rec : img.pages) {
+    const criu::PageRecord* got = store.lookup(rec.page);
+    NLC_CHECK_MSG(got != nullptr,
+                  "audit: folded page missing from the page store");
+    NLC_CHECK_MSG(got->version == rec.version,
+                  "audit: page store holds the wrong version after fold");
+    if (rec.has_content()) {
+      NLC_CHECK_MSG(got->content != nullptr,
+                    "audit: content page stored without its payload");
+      // Zero-copy fold stores the shared handle itself; a differing handle
+      // is legal only if the bytes still match exactly.
+      if (got->content != rec.content) {
+        NLC_CHECK_MSG(*got->content == *rec.content,
+                      "audit: page store bytes diverged from the shipped "
+                      "image (delta/fold equivalence violated)");
+      }
+    } else {
+      NLC_CHECK_MSG(got->content == nullptr,
+                    "audit: accounting page grew a payload in the store");
+    }
+    ++checks_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeltaReplayChecker
+
+void DeltaReplayChecker::replay(const criu::CheckpointImage& img,
+                                bool delta_enabled) {
+  for (const criu::PageRecord& rec : img.pages) {
+    if (!rec.has_content()) {
+      NLC_CHECK_MSG(rec.wire_size == nlc::kPageSize,
+                    "audit: accounting page with a compressed wire size");
+      continue;
+    }
+    if (!delta_enabled) {
+      NLC_CHECK_MSG(rec.wire_size == nlc::kPageSize,
+                    "audit: compressed wire size with the delta stage off");
+      continue;
+    }
+    auto it = prev_.find(rec.page);
+    const kern::PageBytes* ref = it == prev_.end() ? nullptr : it->second.get();
+    criu::PageDelta d = criu::delta_encode(ref, *rec.content);
+    NLC_CHECK_MSG(d.wire_size == rec.wire_size,
+                  "audit: stamped wire size disagrees with a shadow encode");
+    kern::PageBytes rebuilt = criu::delta_apply(ref, d, rec.content.get());
+    NLC_CHECK_MSG(rebuilt == *rec.content,
+                  "audit: delta codec failed the byte-exact round trip");
+    prev_[rec.page] = rec.content;
+    ++checks_;
+  }
+}
+
+}  // namespace nlc::check

@@ -1,0 +1,191 @@
+// Invariant checkers for the NiLiCon replication protocol.
+//
+// Each class audits one of the paper's correctness properties from a
+// stream of observation events (fed by the InvariantAuditor in audit.hpp,
+// or directly by tests). They keep their own mirror of the protocol state
+// they audit — the point is to catch the real components lying, so nothing
+// here trusts a component's own bookkeeping. A violated invariant throws
+// InvariantError via NLC_CHECK; a clean run only bumps check counters.
+//
+// The checkers are deliberately free of simulation/cluster dependencies so
+// negative tests can drive a violation in a few lines.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "criu/delta.hpp"
+#include "criu/image.hpp"
+#include "criu/pagestore.hpp"
+#include "kernel/address_space.hpp"
+#include "util/assert.hpp"
+
+namespace nlc::check {
+
+/// FNV-1a fingerprint of a page payload — the freeze stamp the COW audit
+/// compares against.
+std::uint64_t fnv1a_page(const kern::PageBytes& bytes);
+
+/// Counters the auditor reports after a run (one per invariant family).
+struct AuditStats {
+  std::uint64_t output_commit_checks = 0;
+  std::uint64_t epoch_commit_checks = 0;
+  std::uint64_t payload_pins = 0;
+  std::uint64_t payload_verifications = 0;
+  std::uint64_t store_equivalence_checks = 0;
+  std::uint64_t delta_replay_checks = 0;
+  std::uint64_t restore_equivalence_checks = 0;
+  std::uint64_t sweeps = 0;
+
+  std::uint64_t total() const {
+    return output_commit_checks + epoch_commit_checks +
+           payload_verifications + store_equivalence_checks +
+           delta_replay_checks + restore_equivalence_checks;
+  }
+};
+
+/// §IV output commit, per packet: buffered output of epoch k may reach the
+/// wire only after the backup acknowledged epoch k. Mirrors the plug
+/// buffer as (epoch, marker, packet-count) segments and checks every
+/// release against the newest ack the primary received.
+class OutputCommitChecker {
+ public:
+  static constexpr std::uint64_t kAnyEpoch =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// A packet entered the plug buffer (current, still unmarked epoch).
+  void packet_buffered() { ++open_packets_; }
+
+  /// Marker `marker` closed epoch `epoch`'s output window.
+  void marker_inserted(std::uint64_t epoch, std::uint64_t marker);
+
+  /// The primary received an ack for `epoch`.
+  void ack_received(std::uint64_t epoch);
+
+  /// The plug released everything up to `marker`, transmitting `packets`
+  /// packets. `expected_epoch` is the epoch the agent believes it is
+  /// committing (kAnyEpoch when unknown to the caller).
+  void released(std::uint64_t marker, std::uint64_t packets,
+                std::uint64_t expected_epoch = kAnyEpoch);
+
+  /// Failover: the plug dropped `packets` uncommitted packets.
+  void discarded(std::uint64_t packets);
+
+  /// Packets the mirror believes are buffered (cross-checked against
+  /// PlugQdisc::pending_packets() by the auditor's sweep).
+  std::uint64_t mirrored_packets() const;
+
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  struct Segment {
+    std::uint64_t epoch = 0;
+    std::uint64_t marker = 0;
+    std::uint64_t packets = 0;
+  };
+  std::deque<Segment> segments_;
+  std::uint64_t open_packets_ = 0;
+  std::uint64_t acked_ = 0;
+  bool has_ack_ = false;
+  std::uint64_t checks_ = 0;
+};
+
+/// Backup-side epoch lifecycle: acks sequential and after the epoch's DRBD
+/// barrier; state commits sequential, exactly once, only for acknowledged
+/// epochs; buffered disk writes applied only inside the fold of their
+/// epoch; uncommitted writes discarded only during failover.
+class EpochCommitChecker {
+ public:
+  void ack_sent(std::uint64_t epoch, std::uint64_t last_barrier);
+  void commit_begin(std::uint64_t epoch);
+  void committed(std::uint64_t epoch);
+  void drbd_applied(std::uint64_t epoch);
+  void drbd_discarded();
+  void recovery_started(std::uint64_t committed_epoch);
+  void recovered(std::uint64_t committed_epoch);
+
+  std::uint64_t committed_count() const { return next_commit_; }
+  bool in_recovery() const { return in_recovery_; }
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  std::uint64_t next_ack_ = 0;
+  std::uint64_t next_commit_ = 0;
+  std::uint64_t fold_epoch_ = 0;
+  std::uint64_t last_applied_ = 0;
+  bool folding_ = false;
+  bool in_recovery_ = false;
+  bool recovered_ = false;
+  std::uint64_t checks_ = 0;
+};
+
+/// COW payload freeze audit (DESIGN.md §7): once a payload handle enters
+/// the checkpoint pipeline its bytes must never change. pin() fingerprints
+/// a payload on first sight; verify_all() re-hashes every still-live
+/// pinned payload. Holds weak references only, so pinning never perturbs
+/// the copy-on-write sharing it audits.
+class PayloadFreezeGuard {
+ public:
+  void pin(const kern::PagePayload& payload);
+  void verify_all();
+  /// Re-hashes at most `budget` pinned payloads, rotating through the pin
+  /// set across calls so repeated budgeted sweeps reach every payload.
+  /// Bounds per-sweep cost on working sets whose every page stays live in
+  /// the backup store.
+  void verify_budget(std::uint64_t budget);
+
+  std::uint64_t live() const { return entries_.size(); }
+  std::uint64_t pins() const { return pins_; }
+  std::uint64_t verifications() const { return verifications_; }
+
+ private:
+  struct Entry {
+    std::weak_ptr<const kern::PageBytes> ref;
+    std::uint64_t fingerprint = 0;
+  };
+  void verify_entry(
+      std::unordered_map<const kern::PageBytes*, Entry>::iterator it);
+
+  // Keyed by payload identity: one page can have several generations of
+  // payloads alive at once (image, store, delta reference).
+  std::unordered_map<const kern::PageBytes*, Entry> entries_;
+  /// Rotation cursor for verify_budget(): keys drained front to back, then
+  /// refilled from the live map.
+  std::vector<const kern::PageBytes*> cycle_;
+  std::size_t cycle_pos_ = 0;
+  std::uint64_t pins_ = 0;
+  std::uint64_t verifications_ = 0;
+};
+
+/// Primary-delta / backup-fold byte equivalence, store side: after the
+/// fold of an epoch, every shipped page record must be retrievable from
+/// the committed page store with the same version and byte-identical
+/// payload.
+class StoreEquivalenceChecker {
+ public:
+  void check(const criu::PageStore& store, const criu::CheckpointImage& img);
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  std::uint64_t checks_ = 0;
+};
+
+/// Primary-delta byte equivalence, wire side: shadow-replays the delta
+/// codec over each shipped image with an independently tracked reference
+/// set, checking that the stamped per-page wire sizes match a fresh encode
+/// and that decode reconstructs the shipped bytes exactly.
+class DeltaReplayChecker {
+ public:
+  void replay(const criu::CheckpointImage& img, bool delta_enabled);
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  std::unordered_map<kern::PageNum, kern::PagePayload> prev_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace nlc::check

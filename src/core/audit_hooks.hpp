@@ -1,0 +1,57 @@
+// Observation seams the NiLiCon agents expose to the invariant auditor
+// (src/check).
+//
+// The agents call these hooks at the protocol's commit points; with no
+// hooks installed (the default) each site costs one null check. The hooks
+// deliberately receive the same objects the protocol acts on (the epoch
+// state message before it is moved to the wire or folded away), so the
+// auditor can cross-check bytes, not just counters, without the agents
+// copying anything on its behalf.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+
+namespace nlc::core {
+
+/// Primary-agent commit points, in per-epoch order: state_ready -> (ship)
+/// -> marker_inserted -> ack_received -> release.
+class PrimaryAuditHooks {
+ public:
+  virtual ~PrimaryAuditHooks() = default;
+  /// Epoch state harvested (and, if enabled, delta-encoded); fires before
+  /// the image moves onto the replication wire.
+  virtual void on_state_ready(const EpochStateMsg& msg, bool initial) = 0;
+  /// The output-commit marker for `epoch` was inserted into the plug.
+  virtual void on_marker_inserted(std::uint64_t epoch,
+                                  std::uint64_t marker) = 0;
+  /// An ack for `epoch` arrived from the backup.
+  virtual void on_ack_received(std::uint64_t epoch) = 0;
+  /// Epoch `epoch`'s buffered output is about to be released to the wire.
+  virtual void on_release(std::uint64_t epoch) = 0;
+};
+
+/// Backup-agent commit points, in per-epoch order: ack_sent ->
+/// commit_begin -> (DRBD apply) -> commit. Recovery hooks bracket failover.
+class BackupAuditHooks {
+ public:
+  virtual ~BackupAuditHooks() = default;
+  /// State fully buffered and the epoch's DRBD barrier arrived; the ack is
+  /// about to be sent. `last_barrier` is the newest barrier the DRBD
+  /// receiver has seen.
+  virtual void on_ack_sent(std::uint64_t epoch,
+                           std::uint64_t last_barrier) = 0;
+  /// The fold of `epoch` into the committed stores is starting.
+  virtual void on_commit_begin(std::uint64_t epoch) = 0;
+  /// Fold finished; fires while `msg` still holds the epoch's page records
+  /// (before the folded sections are cleared), so byte equivalence against
+  /// the page store can be checked.
+  virtual void on_commit(const EpochStateMsg& msg) = 0;
+  /// Failover began; `committed_epoch` is the restore point.
+  virtual void on_recovery_started(std::uint64_t committed_epoch) = 0;
+  /// Failover finished; the container runs on the backup.
+  virtual void on_recovered(std::uint64_t committed_epoch) = 0;
+};
+
+}  // namespace nlc::core

@@ -58,10 +58,12 @@ sim::task<> BackupAgent::state_loop() {
     // the barrier) and its container state are buffered here: acknowledge,
     // letting the primary release the epoch's buffered output (§IV).
     co_await drbd_->wait_barrier(msg.epoch);
+    if (audit_ != nullptr) audit_->on_ack_sent(msg.epoch, drbd_->last_barrier());
     ack_out_->send(AckMsg{msg.epoch}, 64);
 
     // Commit: fold the epoch into the committed stores.
     commit_in_progress_ = true;
+    if (audit_ != nullptr) audit_->on_commit_begin(msg.epoch);
     commit_idle_->reset();
     pages_->begin_checkpoint(msg.epoch);
     std::uint64_t visits = 0;
@@ -86,6 +88,9 @@ sim::task<> BackupAgent::state_loop() {
     for (kern::DncPageEntry& pe : msg.image.fs_cache.pages) {
       committed_fs_pages_[{pe.ino, pe.page_index}] = std::move(pe);
     }
+    // Audited before the folded sections are cleared so the auditor can
+    // compare the shipped records against what the page store now holds.
+    if (audit_ != nullptr) audit_->on_commit(msg);
     msg.image.pages.clear();     // folded into the page store
     msg.image.fs_cache = {};     // folded into the fs-cache maps
     committed_image_ = std::move(msg.image);
@@ -144,6 +149,7 @@ sim::task<> BackupAgent::recover() {
   sim::Simulation& sim = kernel_->simulation();
   criu::KernelInterfaceCosts costs;  // restore-side cost model
   Time t0 = sim.now();
+  if (audit_ != nullptr) audit_->on_recovery_started(committed_epoch_);
 
   // Never restore from a half-committed epoch: wait out an in-flight
   // commit (its state fully arrived and was acknowledged, so it belongs in
@@ -205,6 +211,7 @@ sim::task<> BackupAgent::recover() {
   recovery_.sockets_restored = tl.sockets_restored;
   recovery_.committed_epoch = committed_epoch_;
   recovered_ = true;
+  if (audit_ != nullptr) audit_->on_recovered(committed_epoch_);
 
   if (on_restored_) {
     on_restored_(FailoverContext{kernel_, tcp_, img.container,

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "blockdev/drbd.hpp"
+#include "core/audit_hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "core/protocol.hpp"
@@ -57,6 +58,9 @@ class BackupAgent {
   /// Forces recovery now (tests / manual failover).
   void trigger_recovery();
 
+  /// Installs (or clears, with nullptr) the invariant auditor's hooks.
+  void set_audit_hooks(BackupAuditHooks* hooks) { audit_ = hooks; }
+
   std::uint64_t committed_epoch() const { return committed_epoch_; }
   bool recovered() const { return recovered_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
@@ -76,6 +80,7 @@ class BackupAgent {
   AckChannel* ack_out_;
   HeartbeatChannel* hb_in_;
   ReplicationMetrics* metrics_;
+  BackupAuditHooks* audit_ = nullptr;
   std::function<void(const FailoverContext&)> on_restored_;
 
   std::unique_ptr<criu::PageStore> pages_;

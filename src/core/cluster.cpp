@@ -74,6 +74,7 @@ sim::task<> Cluster::protect(kern::ContainerId cid, const Options& opts) {
   backup_agent = std::make_unique<BackupAgent>(
       opts, *backup_kernel, backup_tcp, *drbd_backup, *state_channel,
       *ack_channel, *heartbeat_channel, metrics);
+  if (on_agents_created) on_agents_created();
   backup_agent->start();
   co_await primary_agent->start();
 }

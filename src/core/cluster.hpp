@@ -11,6 +11,7 @@
 // simulation.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "blockdev/disk.hpp"
@@ -84,6 +85,13 @@ class Cluster {
   ReplicationMetrics metrics;
   std::unique_ptr<PrimaryAgent> primary_agent;
   std::unique_ptr<BackupAgent> backup_agent;
+
+  /// Invoked by protect() right after the agent pair is constructed and
+  /// before either agent runs: the harness uses this to attach the
+  /// invariant auditor (src/check) while every observed component exists
+  /// but no epoch has started, so the audit mirrors see the protocol from
+  /// its very first event.
+  std::function<void()> on_agents_created;
 
   /// Creates a container on the primary with the service address bound and
   /// its egress/ingress plumbing in place.

@@ -9,6 +9,16 @@
 
 namespace nlc::core {
 
+/// How aggressively the invariant auditor (src/check) validates the
+/// replication protocol at runtime.
+///  kOff          — no observers installed; zero cost.
+///  kCommitPoints — ordering and equivalence invariants checked at every
+///                  epoch commit and at failover.
+///  kContinuous   — additionally re-fingerprints frozen COW payloads on
+///                  every commit and on a periodic simulation probe, and
+///                  shadow-replays the delta codec per shipped epoch.
+enum class AuditLevel : std::uint8_t { kOff, kCommitPoints, kContinuous };
+
 struct Options {
   /// Execution-phase length per epoch (paper: 30 ms).
   Time epoch_length = nlc::milliseconds(30);
@@ -50,6 +60,10 @@ struct Options {
   int heartbeat_miss_threshold = 3;
 
   std::uint64_t seed = 1;
+
+  /// Runtime invariant auditing (src/check). The harness attaches an
+  /// InvariantAuditor to the agent pair when this is not kOff.
+  AuditLevel audit_level = AuditLevel::kOff;
 
   /// The seven cumulative configurations of Table I, row index 0..6.
   /// Row 7 is our ablation extension: everything plus page delta

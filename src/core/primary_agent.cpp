@@ -63,7 +63,10 @@ sim::task<> PrimaryAgent::epoch_loop() {
 }
 
 sim::task<> PrimaryAgent::wait_acked(std::uint64_t epoch) {
-  while (acked_epoch_ < epoch) {
+  // acked_epoch_ == 0 also covers "no ack yet" (epochs are 0-based), so the
+  // flag, not the counter, decides whether epoch 0 was acknowledged —
+  // otherwise epoch 0's buffered output would be released un-acked.
+  while (!any_acked_ || acked_epoch_ < epoch) {
     ack_event_->reset();
     co_await ack_event_->wait();
   }
@@ -162,6 +165,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   std::uint64_t dirty = hr.image.dirty_page_count();
   std::uint64_t bytes = msg.wire_bytes;
   msg.image = std::move(hr.image);
+  if (audit_ != nullptr) audit_->on_state_ready(msg, initial);
 
   // ---- Ship (synchronously if no staging buffer, §V-D(2)) ------------------
   bool sync_ship = initial || !opts_.staging_buffer;
@@ -179,6 +183,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   }
   rec.marker = plug().insert_marker();
   rec.marker_inserted = true;
+  if (audit_ != nullptr) audit_->on_marker_inserted(epoch, rec.marker);
   kernel_->thaw_container(cid_);
 
   Time stop = sim.now() - rec.stop_begin;
@@ -195,6 +200,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   if (sync_ship) {
     // The ack arrived while the container was still paused: the epoch is
     // committed, release its buffered output now.
+    if (audit_ != nullptr) audit_->on_release(epoch);
     plug().release_to_marker(rec.marker);
     metrics_->commit_latency_ms.add(to_millis(sim.now() - rec.stop_begin));
     epoch_recs_.erase(epoch);
@@ -211,9 +217,12 @@ sim::task<> PrimaryAgent::ack_loop() {
     AckMsg ack = co_await ack_in_->recv();
     NLC_CHECK_MSG(ack.epoch >= acked_epoch_, "acks must be monotone");
     acked_epoch_ = ack.epoch;
+    any_acked_ = true;
+    if (audit_ != nullptr) audit_->on_ack_received(ack.epoch);
     ack_event_->set();
     auto it = epoch_recs_.find(ack.epoch);
     if (it != epoch_recs_.end() && it->second.marker_inserted) {
+      if (audit_ != nullptr) audit_->on_release(ack.epoch);
       plug().release_to_marker(it->second.marker);
       metrics_->commit_latency_ms.add(
           to_millis(kernel_->simulation().now() - it->second.stop_begin));

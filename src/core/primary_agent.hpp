@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "blockdev/drbd.hpp"
+#include "core/audit_hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "core/protocol.hpp"
@@ -43,6 +44,9 @@ class PrimaryAgent {
   /// Stops taking checkpoints (end of measurement interval).
   void stop() { running_ = false; }
 
+  /// Installs (or clears, with nullptr) the invariant auditor's hooks.
+  void set_audit_hooks(PrimaryAuditHooks* hooks) { audit_ = hooks; }
+
   std::uint64_t current_epoch() const { return epoch_; }
   std::uint64_t acked_epoch() const { return acked_epoch_; }
 
@@ -69,6 +73,7 @@ class PrimaryAgent {
   AckChannel* ack_in_;
   HeartbeatChannel* hb_out_;
   ReplicationMetrics* metrics_;
+  PrimaryAuditHooks* audit_ = nullptr;
 
   criu::CheckpointEngine ckpt_;
   InfrequentStateCache cache_;
@@ -79,6 +84,9 @@ class PrimaryAgent {
   bool running_ = true;
   std::uint64_t epoch_ = 0;
   std::uint64_t acked_epoch_ = 0;
+  /// Distinguishes "epoch 0 acked" from "no ack yet" (both leave
+  /// acked_epoch_ == 0).
+  bool any_acked_ = false;
   std::unique_ptr<sim::Event> ack_event_;
   /// epoch -> (plug marker, stop-begin time); marker released on ack.
   struct EpochRec {

@@ -7,6 +7,7 @@
 #include "apps/diskstress.hpp"
 #include "apps/kv.hpp"
 #include "apps/server_app.hpp"
+#include "check/audit.hpp"
 #include "clients/closed_loop.hpp"
 #include "core/cluster.hpp"
 #include "mc/micro_checkpoint.hpp"
@@ -71,8 +72,21 @@ RunResult run_experiment(const RunConfig& cfg) {
   Cluster cl;
   Rng rng(cfg.seed);
 
+  // Declared after cl so the auditor detaches from the still-live cluster
+  // components on destruction.
+  std::unique_ptr<check::InvariantAuditor> auditor;
+
   kern::Container& cont = cl.create_service_container(cfg.spec.name);
   kern::ContainerId cid = cont.id();
+
+  if (cfg.mode == Mode::kNiLiCon &&
+      cfg.nilicon.audit_level != core::AuditLevel::kOff) {
+    cl.on_agents_created = [&cl, &auditor, &cfg, cid] {
+      auditor = std::make_unique<check::InvariantAuditor>(cl, cid,
+                                                          cfg.nilicon);
+      auditor->attach();
+    };
+  }
 
   apps::AppEnv primary_env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp,
                            core::kServiceIp, cfg.seed ^ 0xA11};
@@ -237,6 +251,12 @@ RunResult run_experiment(const RunConfig& cfg) {
   };
   cl.sim.spawn(orchestrator());
   cl.sim.run();
+
+  if (auditor) {
+    auditor->final_audit();
+    res.audited = true;
+    res.audit = auditor->stats();
+  }
 
   // ---- Collect ------------------------------------------------------------
   Time window = win->end - win->start;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "apps/spec.hpp"
+#include "check/invariants.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "util/stats.hpp"
@@ -84,6 +85,12 @@ struct RunResult {
   /// Client-observed service interruption (max latency spike minus the
   /// pre-fault median), for Table II.
   Time interruption = 0;
+
+  /// Invariant-audit results (cfg.nilicon.audit_level != kOff). A run that
+  /// returns at all passed: a violation throws InvariantError out of
+  /// run_experiment.
+  bool audited = false;
+  check::AuditStats audit;
 };
 
 /// Runs one experiment. Deterministic for a given config+seed.

@@ -33,7 +33,7 @@ enum class SchedPolicy : std::uint8_t { kOther, kFifo, kRoundRobin };
 
 struct Thread {
   Tid tid = 0;
-  Registers regs;
+  Registers regs{};
   std::uint64_t sigmask = 0;
   SchedPolicy policy = SchedPolicy::kOther;
   int priority = 0;
@@ -50,7 +50,7 @@ struct FdEntry {
   InodeNum inode = 0;     // kFile
   std::uint64_t offset = 0;
   SocketId socket = 0;    // kSocket
-  std::string device;     // kDevice
+  std::string device{};   // kDevice
   std::uint32_t flags = 0;
 
   bool operator==(const FdEntry&) const = default;

@@ -12,8 +12,8 @@ McDriver::McDriver(McOptions opts, kern::Kernel& kernel, net::TcpStack& tcp,
                    core::ReplicationMetrics& metrics)
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid),
       state_out_(&state_out), ack_in_(&ack_in), metrics_(&metrics),
-      ack_event_(std::make_unique<sim::Event>(kernel.simulation())),
-      rng_(opts.seed ^ 0x4D43ull) {}
+      rng_(opts.seed ^ 0x4D43ull),
+      ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {}
 
 net::IpAddr McDriver::service_ip() const {
   return static_cast<net::IpAddr>(kernel_->container(cid_)->service_ip());

@@ -23,6 +23,23 @@
 
 namespace nlc::net {
 
+/// Observer seam for the invariant auditor (src/check): mirrors the plug's
+/// externally visible transitions — what was buffered, where the epoch
+/// markers sit, and what each release transmitted. The plug itself stays
+/// policy-free; with no observer installed the hot path pays one branch.
+class PlugObserver {
+ public:
+  virtual ~PlugObserver() = default;
+  /// A packet entered the buffer (engaged mode only).
+  virtual void on_plug_enqueue(const Packet& p) = 0;
+  /// An epoch-boundary marker was appended.
+  virtual void on_plug_marker(std::uint64_t marker) = 0;
+  /// release_to_marker(marker) completed, transmitting `packets` packets.
+  virtual void on_plug_release(std::uint64_t marker, std::uint64_t packets) = 0;
+  /// discard_all() dropped `packets` buffered packets (failover path).
+  virtual void on_plug_discard(std::uint64_t packets) = 0;
+};
+
 class PlugQdisc {
  public:
   using TransmitFn = std::function<void(const Packet&)>;
@@ -35,6 +52,9 @@ class PlugQdisc {
   void engage() { engaged_ = true; }
   bool engaged() const { return engaged_; }
 
+  /// Installs (or clears, with nullptr) the audit observer.
+  void set_observer(PlugObserver* o) { observer_ = o; }
+
   void enqueue(const Packet& p) {
     if (!engaged_) {
       transmit_(p);
@@ -42,33 +62,46 @@ class PlugQdisc {
     }
     buffer_.push_back(Entry{p, false});
     ++buffered_total_;
+    if (observer_ != nullptr) observer_->on_plug_enqueue(p);
   }
 
   /// Marks the current epoch boundary; returns a marker id.
   std::uint64_t insert_marker() {
     buffer_.push_back(Entry{{}, true, next_marker_});
-    return next_marker_++;
+    std::uint64_t marker = next_marker_++;
+    if (observer_ != nullptr) observer_->on_plug_marker(marker);
+    return marker;
   }
 
   /// Releases (transmits, in order) everything buffered before `marker`.
   /// Markers must be released in order.
   void release_to_marker(std::uint64_t marker) {
+    std::uint64_t released = 0;
     while (!buffer_.empty()) {
       Entry e = std::move(buffer_.front());
       buffer_.pop_front();
       if (e.is_marker) {
         NLC_CHECK_MSG(e.marker_id <= marker, "marker released out of order");
-        if (e.marker_id == marker) return;
+        if (e.marker_id == marker) {
+          if (observer_ != nullptr) observer_->on_plug_release(marker, released);
+          return;
+        }
         continue;
       }
       transmit_(e.packet);
       ++released_total_;
+      ++released;
     }
     NLC_CHECK_MSG(false, "marker not found in plug buffer");
   }
 
   /// Failover: uncommitted output must never reach the client.
-  void discard_all() { buffer_.clear(); }
+  void discard_all() {
+    std::uint64_t dropped = 0;
+    for (const Entry& e : buffer_) dropped += e.is_marker ? 0 : 1;
+    buffer_.clear();
+    if (observer_ != nullptr) observer_->on_plug_discard(dropped);
+  }
 
   std::size_t pending_packets() const {
     std::size_t n = 0;
@@ -87,6 +120,7 @@ class PlugQdisc {
 
   TransmitFn transmit_;
   bool engaged_ = false;
+  PlugObserver* observer_ = nullptr;
   std::deque<Entry> buffer_;
   std::uint64_t next_marker_ = 1;
   std::uint64_t buffered_total_ = 0;

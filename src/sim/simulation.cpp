@@ -85,6 +85,10 @@ bool Simulation::dispatch(const QueueEntry& entry) {
   DomainPtr saved = std::exchange(current_domain_, state.domain);
   state.fn();
   current_domain_ = std::move(saved);
+  if (audit_probe_ && ++events_since_probe_ >= audit_probe_every_) {
+    events_since_probe_ = 0;
+    audit_probe_();  // outside any coroutine: an InvariantError escapes run()
+  }
   return true;
 }
 

@@ -138,6 +138,18 @@ class Simulation {
   /// Number of events processed since construction (for tests/diagnostics).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Invariant-audit probe (src/check): runs `probe` after every
+  /// `every_events`-th processed event, outside any coroutine, so an
+  /// InvariantError it throws escapes run() directly. Pass a null function
+  /// to disable (the default; the dispatcher then pays a single branch).
+  void set_audit_probe(std::function<void()> probe,
+                       std::uint64_t every_events = 1024) {
+    NLC_CHECK(every_events > 0);
+    audit_probe_ = std::move(probe);
+    audit_probe_every_ = every_events;
+    events_since_probe_ = 0;
+  }
+
  private:
   struct QueueEntry {
     Time time;
@@ -191,6 +203,9 @@ class Simulation {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::function<void()> audit_probe_;
+  std::uint64_t audit_probe_every_ = 1024;
+  std::uint64_t events_since_probe_ = 0;
   bool stop_requested_ = false;
   bool tearing_down_ = false;
   DomainPtr current_domain_;

@@ -67,7 +67,9 @@ TYPED_TEST(PageStoreTypedTest, AllPagesReturnsLatestVersions) {
   auto all = this->store_.all_pages();
   EXPECT_EQ(all.size(), 2u);
   for (const PageRecord* r : all) {
-    if (r->page == 2) EXPECT_EQ(r->version, 2u);
+    if (r->page == 2) {
+      EXPECT_EQ(r->version, 2u);
+    }
   }
 }
 

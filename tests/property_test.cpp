@@ -157,7 +157,9 @@ TEST_P(PageStoreEquivalence, RandomOperationSequences) {
     const criu::PageRecord* a = list.lookup(p);
     const criu::PageRecord* b = radix.lookup(p);
     ASSERT_EQ(a == nullptr, b == nullptr) << "page " << p;
-    if (a != nullptr) EXPECT_EQ(a->version, b->version) << "page " << p;
+    if (a != nullptr) {
+      EXPECT_EQ(a->version, b->version) << "page " << p;
+    }
   }
 }
 

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Repository lint: enforces the invariant-checking and ownership conventions
+# that the sanitizer/audit pipeline relies on.
+#
+#   * no raw assert()/cassert — invariants must throw nlc::InvariantError
+#     via NLC_CHECK/NLC_CHECK_MSG so they fire in every build type and are
+#     catchable by the audit drivers and negative tests;
+#   * no naked new/delete — ownership goes through smart pointers, so ASan
+#     leak reports stay actionable.
+#
+# Exits non-zero with the offending lines on a violation. Run directly or
+# via the `lint` CMake target (which also runs clang-tidy when available).
+set -u
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo" || exit 2
+
+status=0
+
+# grep -n over the C++ sources; $1 = pattern, $2 = description, $3 = filter
+# regex removing allowed matches (applied with grep -v).
+scan() {
+    pattern=$1; what=$2; allow=$3
+    hits=$(find src tests tools bench examples -name '*.hpp' -o -name '*.cpp' \
+        | sort | xargs grep -nE "$pattern" 2>/dev/null \
+        | grep -vE "$allow")
+    if [ -n "$hits" ]; then
+        echo "lint: $what:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+}
+
+# Raw assert: matches assert( not preceded by an identifier character
+# (excludes static_assert and NLC_CHECK's own definition site).
+scan '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
+    'raw assert() — use NLC_CHECK/NLC_CHECK_MSG (util/assert.hpp)' \
+    'static_assert|//.*assert'
+
+scan '#[[:space:]]*include[[:space:]]*<cassert>|#[[:space:]]*include[[:space:]]*<assert\.h>' \
+    '<cassert> include — use util/assert.hpp' \
+    '^$'
+
+# Naked new: `new Type` outside a smart-pointer factory. Placement new and
+# comments mentioning "new" are allowed.
+scan '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:]+' \
+    'naked new — use std::make_unique/std::make_shared' \
+    '//|make_unique|make_shared'
+
+scan '(^|[^_[:alnum:]])delete[[:space:]]+[[:alnum:]_]' \
+    'naked delete — owning raw pointers are banned' \
+    '//|= delete|delete\]'
+
+if [ "$status" -eq 0 ]; then
+    echo "lint: OK"
+fi
+exit "$status"

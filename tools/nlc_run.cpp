@@ -14,6 +14,7 @@
 
 #include "apps/catalog.hpp"
 #include "harness/experiment.hpp"
+#include "util/assert.hpp"
 
 namespace {
 
@@ -42,6 +43,8 @@ void usage() {
       "  --pipeline N       override per-connection request pipeline\n"
       "  --seed N           RNG seed (default 1)\n"
       "  --fault            inject a fail-stop fault mid-run\n"
+      "  --audit L          attach the invariant auditor: off|commit|\n"
+      "                     continuous (default off; violations exit 1)\n"
       "  --kv               validating KV payloads\n"
       "  --diskstress       run the disk/memory consistency microbenchmark\n"
       "  --list             list workloads and exit\n");
@@ -96,6 +99,17 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--fault") {
       cfg.inject_fault = true;
+    } else if (arg == "--audit") {
+      std::string l = next();
+      if (l == "off") cfg.nilicon.audit_level = core::AuditLevel::kOff;
+      else if (l == "commit")
+        cfg.nilicon.audit_level = core::AuditLevel::kCommitPoints;
+      else if (l == "continuous")
+        cfg.nilicon.audit_level = core::AuditLevel::kContinuous;
+      else {
+        std::fprintf(stderr, "unknown audit level\n");
+        return 2;
+      }
     } else if (arg == "--kv") {
       cfg.kv_validation = true;
     } else if (arg == "--diskstress") {
@@ -115,7 +129,13 @@ int main(int argc, char** argv) {
   if (cfg.kv_validation && cfg.spec.kv_pages == 0) {
     cfg.spec.kv_pages = 512;  // give non-KV workloads a store to validate
   }
-  auto r = harness::run_experiment(cfg);
+  harness::RunResult r;
+  try {
+    r = harness::run_experiment(cfg);
+  } catch (const InvariantError& e) {
+    std::fprintf(stderr, "AUDIT VIOLATION: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("workload=%s mode=%s seed=%llu\n", cfg.spec.name.c_str(),
               harness::mode_name(cfg.mode),
@@ -153,6 +173,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     r.diskstress_errors +
                     r.diskstress_post_failover_mismatches));
+  }
+
+  if (r.audited) {
+    std::printf("audit: %llu invariant checks, 0 violations\n",
+                static_cast<unsigned long long>(r.audit.total()));
   }
 
   // Machine-readable line.
