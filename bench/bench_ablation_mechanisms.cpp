@@ -17,7 +17,7 @@ namespace {
 using namespace nlc;
 using namespace nlc::bench;
 
-harness::RunResult run_fault(const apps::AppSpec& spec, core::Options opts,
+harness::RunConfig fault_cfg(const apps::AppSpec& spec, core::Options opts,
                              std::uint64_t seed) {
   harness::RunConfig cfg;
   cfg.spec = spec;
@@ -28,7 +28,7 @@ harness::RunResult run_fault(const apps::AppSpec& spec, core::Options opts,
   cfg.kv_validation = spec.kv_pages > 0;
   cfg.client_connections = 4;
   cfg.seed = seed;
-  return harness::run_experiment(cfg);
+  return cfg;
 }
 
 }  // namespace
@@ -41,15 +41,21 @@ int main() {
   {
     apps::AppSpec spec = apps::netecho_spec();
     Samples with_fix, without_fix;
+    std::vector<harness::RunConfig> cfgs;
     for (int i = 0; i < runs(3, 8); ++i) {
       core::Options opts;
       opts.rto_repair_fix = true;
-      auto a = run_fault(spec, opts, 100 + static_cast<std::uint64_t>(i));
+      cfgs.push_back(fault_cfg(spec, opts, 100 + static_cast<std::uint64_t>(i)));
+      opts.rto_repair_fix = false;
+      cfgs.push_back(fault_cfg(spec, opts, 100 + static_cast<std::uint64_t>(i)));
+    }
+    auto rs = run_all(cfgs);
+    for (std::size_t i = 0; i < rs.size(); i += 2) {
+      const auto& a = rs[i];
+      const auto& b = rs[i + 1];
       if (a.recovered && a.interruption > 0) {
         with_fix.add(to_millis(a.interruption));
       }
-      opts.rto_repair_fix = false;
-      auto b = run_fault(spec, opts, 100 + static_cast<std::uint64_t>(i));
       if (b.recovered && b.interruption > 0) {
         without_fix.add(to_millis(b.interruption));
       }
@@ -67,14 +73,18 @@ int main() {
     apps::AppSpec spec = apps::netecho_spec();
     spec.kv_pages = 256;
     int broken_with = 0, broken_without = 0, n = runs(3, 8);
+    std::vector<harness::RunConfig> cfgs;
     for (int i = 0; i < n; ++i) {
       core::Options opts;
       opts.block_input_during_recovery = true;
-      auto a = run_fault(spec, opts, 200 + static_cast<std::uint64_t>(i));
-      broken_with += a.broken_connections > 0;
+      cfgs.push_back(fault_cfg(spec, opts, 200 + static_cast<std::uint64_t>(i)));
       opts.block_input_during_recovery = false;
-      auto b = run_fault(spec, opts, 200 + static_cast<std::uint64_t>(i));
-      broken_without += b.broken_connections > 0;
+      cfgs.push_back(fault_cfg(spec, opts, 200 + static_cast<std::uint64_t>(i)));
+    }
+    auto rs = run_all(cfgs);
+    for (std::size_t i = 0; i < rs.size(); i += 2) {
+      broken_with += rs[i].broken_connections > 0;
+      broken_without += rs[i + 1].broken_connections > 0;
     }
     std::printf("input blocking during recovery (§III):\n");
     std::printf("  blocked:   %d/%d trials broke a connection\n",
@@ -91,9 +101,13 @@ int main() {
     cfg.spec = spec;
     cfg.mode = harness::Mode::kNiLiCon;
     cfg.measure = measure_seconds();
-    auto dnc = harness::run_experiment(cfg);
+    std::vector<harness::RunConfig> cfgs;
+    cfgs.push_back(cfg);
     cfg.nilicon.fs_cache_via_dnc = false;
-    auto nas = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+    auto rs = run_all(cfgs);
+    const auto& dnc = rs[0];
+    const auto& nas = rs[1];
     std::printf("file-system-cache handling on ssdb (§III):\n");
     std::printf("  DNC + fgetfc:   stop %6.1fms/epoch\n",
                 dnc.metrics.stop_time_ms.mean());
@@ -102,5 +116,7 @@ int main() {
     std::printf("  expected: the NAS flush adds tens of ms per epoch on\n"
                 "  disk-intensive workloads (the paper calls it prohibitive)\n");
   }
+  footer();
+  BenchJson("ablation_mechanisms").write();
   return 0;
 }

@@ -45,14 +45,17 @@ struct Point {
   double runtime = 0;
 };
 
-Point run_one(const apps::AppSpec& spec, Mode mode, double stock_metric) {
+RunConfig make_cfg(const apps::AppSpec& spec, Mode mode) {
   RunConfig cfg;
   cfg.spec = spec;
   cfg.mode = mode;
   cfg.measure = measure_seconds();
   cfg.batch_work = batch_seconds();
-  RunResult r = harness::run_experiment(cfg);
+  return cfg;
+}
 
+Point score(const apps::AppSpec& spec, const RunResult& r,
+            double stock_metric) {
   Point p;
   if (spec.interactive) {
     p.overhead = 1.0 - r.throughput_rps / stock_metric;
@@ -84,20 +87,28 @@ int main() {
   std::printf("---------------------------------------------------------"
               "---------------------------\n");
 
+  // The full matrix — 7 benchmarks x {stock, NiLiCon, MC} — in one
+  // parallel batch; each cell is an independent simulation.
+  std::vector<RunConfig> cfgs;
+  for (const auto& spec : specs) {
+    cfgs.push_back(make_cfg(spec, Mode::kStock));
+    cfgs.push_back(make_cfg(spec, Mode::kNiLiCon));
+    cfgs.push_back(make_cfg(spec, Mode::kMc));
+  }
+  std::vector<RunResult> rs = bench::run_all(cfgs);
+
+  bench::BenchJson json("fig3_overhead");
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& spec = specs[i];
-    RunConfig stock_cfg;
-    stock_cfg.spec = spec;
-    stock_cfg.mode = Mode::kStock;
-    stock_cfg.measure = measure_seconds();
-    stock_cfg.batch_work = batch_seconds();
-    RunResult stock = harness::run_experiment(stock_cfg);
+    const RunResult& stock = rs[i * 3];
     double stock_metric = spec.interactive
                               ? stock.throughput_rps
                               : to_seconds(stock.batch_runtime);
 
-    Point nil = run_one(spec, Mode::kNiLiCon, stock_metric);
-    Point mc = run_one(spec, Mode::kMc, stock_metric);
+    Point nil = score(spec, rs[i * 3 + 1], stock_metric);
+    Point mc = score(spec, rs[i * 3 + 2], stock_metric);
+    json.point(spec.name + "_nilicon", nil.overhead);
+    json.point(spec.name + "_mc", mc.overhead);
 
     std::printf("%-14s | %6.2f%% (%6.2f%%) %6.2f%%/%6.2f%% | "
                 "%6.2f%% (%6.2f%%) %6.2f%%/%6.2f%%\n",
@@ -107,5 +118,7 @@ int main() {
   }
   std::printf("\nShape checks: NiLiCon stop-dominated for most benchmarks;\n"
               "MC runtime-dominated; both in the same band per benchmark.\n");
+  footer();
+  json.write();
   return 0;
 }

@@ -15,7 +15,9 @@ int main() {
   std::printf("%-8s | %-10s | %-12s\n", "clients", "overhead", "stop (ms)");
   std::printf("------------------------------------\n");
 
-  for (int clients : {2, 8, 32, 128}) {
+  const int points[] = {2, 8, 32, 128};
+  std::vector<harness::RunConfig> cfgs;
+  for (int clients : points) {
     apps::AppSpec spec = apps::lighttpd_spec();
     spec.saturation_clients = clients;
     // With few clients lighttpd is not CPU-saturated; requests are lighter
@@ -23,16 +25,25 @@ int main() {
     harness::RunConfig cfg;
     cfg.spec = spec;
     cfg.measure = measure_seconds();
-
     cfg.mode = harness::Mode::kStock;
-    auto stock = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
     cfg.mode = harness::Mode::kNiLiCon;
-    auto nil = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  auto rs = run_all(cfgs);
+
+  BenchJson json("scal_clients");
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const auto& stock = rs[i * 2];
+    const auto& nil = rs[i * 2 + 1];
     double overhead = 1.0 - nil.throughput_rps / stock.throughput_rps;
-    std::printf("%-8d | %8.1f%% | %10.2f\n", clients, overhead * 100.0,
+    json.point("clients_" + std::to_string(points[i]), overhead);
+    std::printf("%-8d | %8.1f%% | %10.2f\n", points[i], overhead * 100.0,
                 nil.metrics.stop_time_ms.mean());
   }
   std::printf("\nShape check: overhead grows with the client count via\n"
               "socket-state checkpoint time (93us per established socket).\n");
+  footer();
+  json.write();
   return 0;
 }

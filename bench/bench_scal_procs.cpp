@@ -17,7 +17,9 @@ int main() {
               "stop (ms)", "dpages/epoch");
   std::printf("--------------------------------------------------\n");
 
-  for (int procs : {1, 2, 4, 8}) {
+  const int points[] = {1, 2, 4, 8};
+  std::vector<harness::RunConfig> cfgs;
+  for (int procs : points) {
     apps::AppSpec spec = apps::lighttpd_spec();
     spec.processes = procs;
     spec.cores = procs;
@@ -25,17 +27,26 @@ int main() {
     harness::RunConfig cfg;
     cfg.spec = spec;
     cfg.measure = measure_seconds();
-
     cfg.mode = harness::Mode::kStock;
-    auto stock = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
     cfg.mode = harness::Mode::kNiLiCon;
-    auto nil = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  auto rs = run_all(cfgs);
+
+  BenchJson json("scal_procs");
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const auto& stock = rs[i * 2];
+    const auto& nil = rs[i * 2 + 1];
     double overhead = 1.0 - nil.throughput_rps / stock.throughput_rps;
-    std::printf("%-8d | %8.1f%% | %10.2f | %10.0f\n", procs,
+    json.point("procs_" + std::to_string(points[i]), overhead);
+    std::printf("%-8d | %8.1f%% | %10.2f | %10.0f\n", points[i],
                 overhead * 100.0, nil.metrics.stop_time_ms.mean(),
                 nil.metrics.dirty_pages.mean());
   }
   std::printf("\nShape check: overhead roughly triples from 1 to 8 processes\n"
               "(paper: 23%% -> 63%%).\n");
+  footer();
+  json.write();
   return 0;
 }

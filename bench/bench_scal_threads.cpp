@@ -18,7 +18,9 @@ int main() {
               "stop (ms)", "dpages/epoch");
   std::printf("------------------------------------------------\n");
 
-  for (int threads : {1, 2, 4, 8, 16, 32}) {
+  const int points[] = {1, 2, 4, 8, 16, 32};
+  std::vector<harness::RunConfig> cfgs;
+  for (int threads : points) {
     apps::AppSpec spec = apps::streamcluster_spec();
     spec.threads_per_process = threads;
     spec.cores = threads;
@@ -28,19 +30,28 @@ int main() {
     harness::RunConfig cfg;
     cfg.spec = spec;
     cfg.batch_work = batch_seconds();
-
     cfg.mode = harness::Mode::kStock;
-    auto stock = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
     cfg.mode = harness::Mode::kNiLiCon;
-    auto nil = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  auto rs = run_all(cfgs);
+
+  BenchJson json("scal_threads");
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const auto& stock = rs[i * 2];
+    const auto& nil = rs[i * 2 + 1];
     double overhead = static_cast<double>(nil.batch_runtime) /
                           static_cast<double>(stock.batch_runtime) -
                       1.0;
-    std::printf("%-8d | %8.1f%% | %10.2f | %10.0f\n", threads,
+    json.point("threads_" + std::to_string(points[i]), overhead);
+    std::printf("%-8d | %8.1f%% | %10.2f | %10.0f\n", points[i],
                 overhead * 100.0, nil.metrics.stop_time_ms.mean(),
                 nil.metrics.dirty_pages.mean());
   }
   std::printf("\nShape check: overhead roughly doubles from 1 to 32 threads\n"
               "(paper: 23%% -> 52%%), with stop time and dirty pages rising.\n");
+  footer();
+  json.write();
   return 0;
 }

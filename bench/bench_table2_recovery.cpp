@@ -21,7 +21,8 @@ struct PaperRow {
 };
 
 void run_case(const char* label, const apps::AppSpec& spec_in,
-              std::uint64_t prefill_pages, const PaperRow& paper) {
+              std::uint64_t prefill_pages, const PaperRow& paper,
+              BenchJson& json) {
   Samples restore_ms, arp_ms, tcp_ms, others_ms, total_ms;
   int n = runs(3, 10);
   // §VII-B setup: one light stress stream (~30% CPU) plus single-request
@@ -32,6 +33,7 @@ void run_case(const char* label, const apps::AppSpec& spec_in,
     spec.kv_writes_per_request = 40;
     spec.pages_per_request = 30;
   }
+  std::vector<harness::RunConfig> cfgs;
   for (int i = 0; i < n; ++i) {
     harness::RunConfig cfg;
     cfg.spec = spec;
@@ -42,7 +44,9 @@ void run_case(const char* label, const apps::AppSpec& spec_in,
     cfg.inject_fault = true;
     cfg.prefill_kv_pages = prefill_pages;
     cfg.seed = 1000 + static_cast<std::uint64_t>(i);
-    auto r = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  for (const auto& r : run_all(cfgs)) {
     if (!r.recovered || r.interruption <= 0) continue;
 
     double interruption = to_millis(r.interruption);
@@ -63,6 +67,8 @@ void run_case(const char* label, const apps::AppSpec& spec_in,
     std::printf("%-6s | no successful recovery samples\n", label);
     return;
   }
+  json.point(std::string(label) + "_restore_ms", restore_ms);
+  json.point(std::string(label) + "_total_ms", total_ms);
   std::printf("%-6s | %6.0fms (%3.0f) | %4.0fms (%2.0f) | %5.0fms (%2.0f) | "
               "%4.0fms (%1.0f) | %6.0fms (%3.0f)\n",
               label, restore_ms.mean(), paper.restore, arp_ms.mean(),
@@ -78,11 +84,14 @@ int main() {
               "ARP", "TCP", "Others", "Total");
   std::printf("--------------------------------------------------------------"
               "--------------\n");
-  run_case("Net", apps::netecho_spec(), 0, {218, 28, 54, 7, 307});
+  BenchJson json("table2_recovery");
+  run_case("Net", apps::netecho_spec(), 0, {218, 28, 54, 7, 307}, json);
   // Redis with ~100MB uploaded: 25600 pre-filled record pages.
   apps::AppSpec redis = apps::redis_spec();
-  run_case("Redis", redis, 25'600, {314, 28, 23, 7, 372});
+  run_case("Redis", redis, 25'600, {314, 28, 23, 7, 372}, json);
   std::printf("\nDetection latency (~90ms) is measured separately and\n"
               "subtracted, as in the paper.\n");
+  footer();
+  json.write();
   return 0;
 }

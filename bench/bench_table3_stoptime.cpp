@@ -37,17 +37,25 @@ int main() {
               "--------------------------------------------------\n");
 
   auto specs = apps::paper_benchmarks();
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  std::vector<harness::RunConfig> cfgs;
+  for (const auto& spec : specs) {
     harness::RunConfig cfg;
-    cfg.spec = specs[i];
+    cfg.spec = spec;
     cfg.measure = measure_seconds();
     cfg.batch_work = batch_seconds();
-
     cfg.mode = Mode::kNiLiCon;
-    auto nil = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
     cfg.mode = Mode::kMc;
-    auto mc = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  auto rs = run_all(cfgs);
 
+  BenchJson json("table3_stoptime");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& nil = rs[i * 2];
+    const auto& mc = rs[i * 2 + 1];
+    json.point(specs[i].name + "_stop_ms_nilicon", nil.metrics.stop_time_ms);
+    json.point(specs[i].name + "_stop_ms_mc", mc.metrics.stop_time_ms);
     std::printf("%-14s | %7.1fms (%5.1fms)      | %7.1fms (%5.1fms)      | "
                 "%7.0f (%6.0f)      | %7.0f (%6.0f)\n",
                 specs[i].name.c_str(), mc.metrics.stop_time_ms.mean(),
@@ -59,5 +67,7 @@ int main() {
   std::printf("\nShape check: NiLiCon stop time exceeds MC's everywhere (the\n"
               "slow in-kernel state interfaces, §V); MC usually dirties more\n"
               "pages (guest kernel activity).\n");
+  footer();
+  json.write();
   return 0;
 }

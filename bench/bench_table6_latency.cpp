@@ -37,17 +37,26 @@ int main() {
   const apps::AppSpec server_specs[5] = {
       apps::redis_spec(), apps::ssdb_spec(), apps::node_spec(),
       apps::lighttpd_spec(), apps::djcms_spec()};
+  std::vector<harness::RunConfig> cfgs;
   for (int i = 0; i < 5; ++i) {
     harness::RunConfig cfg;
     cfg.spec = server_specs[i];
     cfg.client_connections = 1;
     cfg.client_pipeline = 1;  // one request at a time (Table VI setup)
     cfg.measure = measure_seconds();
-
     cfg.mode = harness::Mode::kStock;
-    auto stock = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
     cfg.mode = harness::Mode::kNiLiCon;
-    auto nil = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  auto rs = run_all(cfgs);
+
+  BenchJson json("table6_latency");
+  for (int i = 0; i < 5; ++i) {
+    const auto& stock = rs[static_cast<std::size_t>(i) * 2];
+    const auto& nil = rs[static_cast<std::size_t>(i) * 2 + 1];
+    json.point(server_specs[i].name + "_stock_ms", stock.mean_latency_ms);
+    json.point(server_specs[i].name + "_nilicon_ms", nil.mean_latency_ms);
 
     std::printf("%-14s | %7.1fms (%5.1f)    | %7.1fms (%5.1f)\n",
                 server_specs[i].name.c_str(), stock.mean_latency_ms,
@@ -57,5 +66,7 @@ int main() {
   std::printf("\nShape check: short-processing services (redis, node) pay\n"
               "mostly the buffering delay (tens of ms); long ones pay mostly\n"
               "the checkpoint overhead.\n");
+  footer();
+  json.write();
   return 0;
 }

@@ -25,6 +25,7 @@ struct Tally {
 Tally run_workload(const apps::AppSpec& spec, bool kv, bool diskstress,
                    int n) {
   Tally t;
+  std::vector<harness::RunConfig> cfgs;
   for (int i = 0; i < n; ++i) {
     harness::RunConfig cfg;
     cfg.spec = spec;
@@ -36,7 +37,9 @@ Tally run_workload(const apps::AppSpec& spec, bool kv, bool diskstress,
     cfg.with_diskstress = diskstress;
     if (kv) cfg.client_connections = 4;
     cfg.seed = 7'000 + static_cast<std::uint64_t>(i) * 13;
-    auto r = harness::run_experiment(cfg);
+    cfgs.push_back(cfg);
+  }
+  for (const auto& r : run_all(cfgs)) {
     ++t.attempts;
     if (r.recovered) ++t.recovered;
     bool progressed = spec.interactive ? r.requests_after_fault > 0
@@ -68,26 +71,36 @@ int main() {
   std::printf("(%d trials per workload; NLC_BENCH_FULL=1 for the 50-run "
               "matrix)\n\n", n);
 
+  BenchJson json("validation_recovery");
+  auto report = [&json](const char* name, const Tally& t) {
+    print_row(name, t);
+    json.point(std::string(name) + "_recovered_frac",
+               t.attempts > 0
+                   ? static_cast<double>(t.recovered) / t.attempts
+                   : 0.0);
+  };
   // Microbenchmark 1: disk + fs cache + heap consistency.
   {
     apps::AppSpec quiet = apps::netecho_spec();
     Tally t = run_workload(quiet, /*kv=*/false, /*diskstress=*/true, n);
-    print_row("diskstress", t);
+    report("diskstress", t);
   }
   // Microbenchmark 2: network stack + server stack memory (echo + KV).
   {
     apps::AppSpec echo = apps::netecho_spec();
     echo.kv_pages = 512;
     Tally t = run_workload(echo, /*kv=*/true, false, n);
-    print_row("netecho(kv)", t);
+    report("netecho(kv)", t);
   }
   // KV validation on the KV stores; plain fault injection elsewhere.
   for (const auto& spec : apps::paper_benchmarks()) {
     bool kv = spec.kv_pages > 0;
     Tally t = run_workload(spec, kv, false, n);
-    print_row(spec.name.c_str(), t);
+    report(spec.name.c_str(), t);
   }
   std::printf("\nPass criterion: every trial recovers, progresses, and shows\n"
               "zero KV/broken-connection/disk errors.\n");
+  footer();
+  json.write();
   return 0;
 }

@@ -7,14 +7,22 @@
 //   NLC_BENCH_RUNS        repetitions per data point
 //   NLC_BENCH_SECONDS     measurement window (server benchmarks)
 //   NLC_BENCH_BATCH_SECS  per-thread CPU quota (batch benchmarks)
+// Trials run through harness::TrialRunner (bench::run_all): NLC_JOBS
+// worker threads (default: all cores; NLC_JOBS=1 = the old serial path),
+// results always in submission order, so every table is byte-identical to
+// a serial run. Each bench also writes BENCH_<name>.json (per-point
+// mean/p50/p99, runs, wall clock, events/sec) next to the human table.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -74,5 +82,160 @@ inline std::string ms_vs(double measured_ms, double paper_ms) {
                 paper_ms);
   return buf;
 }
+
+// ---- Parallel trial execution ---------------------------------------------
+
+/// The bench binary's shared runner (NLC_JOBS workers). Aggregate
+/// accounting across batches lives in the accumulators below.
+inline harness::TrialRunner& runner() {
+  static harness::TrialRunner r;
+  return r;
+}
+
+struct SweepTotals {
+  std::size_t trials = 0;
+  double wall_seconds = 0;          // sum of batch wall clocks
+  double serial_seconds = 0;        // sum of per-trial wall clocks
+  std::uint64_t sim_events = 0;
+};
+
+inline SweepTotals& totals() {
+  static SweepTotals t;
+  return t;
+}
+
+/// Runs the given experiment configs as independent parallel trials and
+/// returns the results in submission order. Every table/figure sweep goes
+/// through here; determinism is preserved because parallelism is strictly
+/// across Simulation instances.
+inline std::vector<harness::RunResult> run_all(
+    const std::vector<harness::RunConfig>& cfgs) {
+  auto& r = runner();
+  std::vector<harness::RunResult> out =
+      r.run(cfgs.size(), [&cfgs](harness::TrialContext& ctx) {
+        harness::RunResult res = harness::run_experiment(cfgs[ctx.index]);
+        ctx.sim_events = res.sim_events;
+        return res;
+      });
+  auto& t = totals();
+  t.trials += cfgs.size();
+  t.wall_seconds += r.batch_wall_seconds();
+  t.serial_seconds += r.total_trial_seconds();
+  t.sim_events += r.total_sim_events();
+  return out;
+}
+
+/// Aggregate events/sec + parallel-speedup footer for the whole binary.
+inline void footer() {
+  const auto& t = totals();
+  if (t.trials == 0) return;
+  double evps = t.wall_seconds > 0
+                    ? static_cast<double>(t.sim_events) / t.wall_seconds
+                    : 0.0;
+  std::printf("\n[runner] %zu trials on %d jobs: %.2fs wall "
+              "(serial-equivalent %.2fs, %.2fx), %.2fM sim events, "
+              "%.2fM events/sec\n",
+              t.trials, runner().jobs(), t.wall_seconds, t.serial_seconds,
+              t.wall_seconds > 0 ? t.serial_seconds / t.wall_seconds : 0.0,
+              static_cast<double>(t.sim_events) / 1e6, evps / 1e6);
+}
+
+// ---- Machine-readable output (BENCH_<name>.json) --------------------------
+
+/// Collects per-point statistics and writes BENCH_<name>.json in the
+/// working directory: the repo's perf trajectory, one file per bench
+/// binary, alongside the human tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// One data point from a Samples accumulator (mean/p50/p99/count).
+  void point(const std::string& label, const Samples& s) {
+    Point p;
+    p.label = label;
+    p.count = s.count();
+    if (!s.empty()) {
+      p.mean = s.mean();
+      p.p50 = s.percentile(50);
+      p.p99 = s.percentile(99);
+    }
+    points_.push_back(std::move(p));
+  }
+
+  /// One scalar data point (a single measured value).
+  void point(const std::string& label, double value) {
+    Point p;
+    p.label = label;
+    p.mean = p.p50 = p.p99 = value;
+    p.count = 1;
+    points_.push_back(std::move(p));
+  }
+
+  /// Extra top-level scalar (speedups, ratios, ...).
+  void scalar(const std::string& key, double value) {
+    scalars_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json; returns false if the file can't be opened.
+  bool write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const auto& t = totals();
+    double evps = t.wall_seconds > 0
+                      ? static_cast<double>(t.sim_events) / t.wall_seconds
+                      : 0.0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"runs\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"trials\": %zu,\n"
+                 "  \"wall_seconds\": %.3f,\n"
+                 "  \"serial_equivalent_seconds\": %.3f,\n"
+                 "  \"sim_events\": %llu,\n"
+                 "  \"events_per_second\": %.0f,\n",
+                 escaped(name_).c_str(), runs(), runner().jobs(), t.trials,
+                 t.wall_seconds, t.serial_seconds,
+                 static_cast<unsigned long long>(t.sim_events), evps);
+    for (const auto& [k, v] : scalars_) {
+      std::fprintf(f, "  \"%s\": %.6g,\n", escaped(k).c_str(), v);
+    }
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const Point& p = points_[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"mean\": %.6g, \"p50\": %.6g, "
+                   "\"p99\": %.6g, \"count\": %zu}%s\n",
+                   escaped(p.label).c_str(), p.mean, p.p50, p.p99, p.count,
+                   i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Point {
+    std::string label;
+    double mean = 0, p50 = 0, p99 = 0;
+    std::size_t count = 0;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Point> points_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
 
 }  // namespace nlc::bench

@@ -21,6 +21,26 @@ net::IpAddr PrimaryAgent::service_ip() const {
   return static_cast<net::IpAddr>(kernel_->container(cid_)->service_ip());
 }
 
+PrimaryAgent::EpochRec& PrimaryAgent::emplace_rec(std::uint64_t epoch) {
+  EpochRec& rec = epoch_recs_[epoch % kEpochWindow];
+  NLC_CHECK_MSG(!rec.live, "epoch window overflow: un-acked epochs exceed "
+                           "the bounded pipeline depth");
+  rec = EpochRec{};
+  rec.epoch = epoch;
+  rec.live = true;
+  return rec;
+}
+
+PrimaryAgent::EpochRec* PrimaryAgent::find_rec(std::uint64_t epoch) {
+  EpochRec& rec = epoch_recs_[epoch % kEpochWindow];
+  return rec.live && rec.epoch == epoch ? &rec : nullptr;
+}
+
+void PrimaryAgent::erase_rec(std::uint64_t epoch) {
+  EpochRec& rec = epoch_recs_[epoch % kEpochWindow];
+  if (rec.live && rec.epoch == epoch) rec.live = false;
+}
+
 net::PlugQdisc& PrimaryAgent::plug() {
   // TcpStack keeps plugs in per-IP unique_ptrs, so the resolved pointer is
   // stable for the agent's lifetime.
@@ -106,7 +126,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   sim::Simulation& sim = kernel_->simulation();
   const auto& costs = ckpt_.costs();
   std::uint64_t epoch = epoch_;
-  EpochRec& rec = epoch_recs_[epoch];
+  EpochRec& rec = emplace_rec(epoch);
   rec.stop_begin = sim.now();
 
   // ---- Stop the container (freezer, §II-B / §V-A) -------------------------
@@ -203,7 +223,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     if (audit_ != nullptr) audit_->on_release(epoch);
     plug().release_to_marker(rec.marker);
     metrics_->commit_latency_ms.add(to_millis(sim.now() - rec.stop_begin));
-    epoch_recs_.erase(epoch);
+    erase_rec(epoch);
   } else {
     // Staged: ship concurrently with the next execute phase; the ack_loop
     // releases the marker when the backup confirms.
@@ -213,20 +233,24 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
 }
 
 sim::task<> PrimaryAgent::ack_loop() {
-  while (true) {
+  // Gated on running_ like epoch_loop/heartbeat_loop: after stop() the
+  // next ack (if any) is still applied — releasing output that the backup
+  // committed is always correct — but then the loop exits instead of
+  // parking on recv() until teardown destroys the frame.
+  while (running_) {
     AckMsg ack = co_await ack_in_->recv();
     NLC_CHECK_MSG(ack.epoch >= acked_epoch_, "acks must be monotone");
     acked_epoch_ = ack.epoch;
     any_acked_ = true;
     if (audit_ != nullptr) audit_->on_ack_received(ack.epoch);
     ack_event_->set();
-    auto it = epoch_recs_.find(ack.epoch);
-    if (it != epoch_recs_.end() && it->second.marker_inserted) {
+    EpochRec* rec = find_rec(ack.epoch);
+    if (rec != nullptr && rec->marker_inserted) {
       if (audit_ != nullptr) audit_->on_release(ack.epoch);
-      plug().release_to_marker(it->second.marker);
+      plug().release_to_marker(rec->marker);
       metrics_->commit_latency_ms.add(
-          to_millis(kernel_->simulation().now() - it->second.stop_begin));
-      epoch_recs_.erase(it);
+          to_millis(kernel_->simulation().now() - rec->stop_begin));
+      erase_rec(ack.epoch);
     }
   }
 }

@@ -9,8 +9,8 @@
 // the backup acknowledges epoch k's state.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "blockdev/drbd.hpp"
@@ -88,13 +88,24 @@ class PrimaryAgent {
   /// acked_epoch_ == 0).
   bool any_acked_ = false;
   std::unique_ptr<sim::Event> ack_event_;
-  /// epoch -> (plug marker, stop-begin time); marker released on ack.
+  /// Per-epoch record (plug marker, stop-begin time); marker released on
+  /// ack. The epoch pipeline bounds the un-acked window at 2 (epoch_loop
+  /// waits for epoch-2's ack before checkpointing), so the live set is
+  /// tiny and bounded: a fixed ring indexed by epoch % kEpochWindow
+  /// replaces the former std::map — no node allocation, lookup and erase
+  /// are O(1) with no hashing/comparison.
   struct EpochRec {
+    std::uint64_t epoch = 0;
+    bool live = false;
     std::uint64_t marker = 0;
     bool marker_inserted = false;
     Time stop_begin = 0;
   };
-  std::map<std::uint64_t, EpochRec> epoch_recs_;
+  static constexpr std::size_t kEpochWindow = 8;  // > max in-flight epochs
+  EpochRec& emplace_rec(std::uint64_t epoch);
+  EpochRec* find_rec(std::uint64_t epoch);
+  void erase_rec(std::uint64_t epoch);
+  std::array<EpochRec, kEpochWindow> epoch_recs_;
 };
 
 }  // namespace nlc::core

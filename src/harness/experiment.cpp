@@ -10,6 +10,7 @@
 #include "check/audit.hpp"
 #include "clients/closed_loop.hpp"
 #include "core/cluster.hpp"
+#include "harness/parallel.hpp"
 #include "mc/micro_checkpoint.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -336,6 +337,7 @@ RunResult run_experiment(const RunConfig& cfg) {
     res.kv_errors = client.kv_errors();
     res.broken_connections = client.broken_connections();
   }
+  res.sim_events = cl.sim.events_processed();
   return res;
 }
 
@@ -343,8 +345,18 @@ double measure_overhead(const RunConfig& protected_cfg) {
   RunConfig stock_cfg = protected_cfg;
   stock_cfg.mode = Mode::kStock;
   stock_cfg.inject_fault = false;
-  RunResult stock = run_experiment(stock_cfg);
-  RunResult prot = run_experiment(protected_cfg);
+  // The stock baseline and the protected run are independent simulations:
+  // run them as two trials on the shared runner.
+  TrialRunner runner;
+  std::vector<RunResult> rs =
+      runner.run(2, [&](TrialContext& ctx) {
+        RunResult r =
+            run_experiment(ctx.index == 0 ? stock_cfg : protected_cfg);
+        ctx.sim_events = r.sim_events;
+        return r;
+      });
+  RunResult& stock = rs[0];
+  RunResult& prot = rs[1];
   if (protected_cfg.spec.interactive) {
     NLC_CHECK(stock.throughput_rps > 0);
     return 1.0 - prot.throughput_rps / stock.throughput_rps;

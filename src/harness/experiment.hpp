@@ -91,6 +91,11 @@ struct RunResult {
   /// run_experiment.
   bool audited = false;
   check::AuditStats audit;
+
+  /// Events processed by this trial's simulation loop — the TrialRunner
+  /// aggregates these into events/sec, and the determinism tests compare
+  /// them across serial/parallel and fast-path/generic runs.
+  std::uint64_t sim_events = 0;
 };
 
 /// Runs one experiment. Deterministic for a given config+seed.

@@ -1,0 +1,157 @@
+// Deterministic parallel trial execution.
+//
+// Every experiment in this repo is a set of *independent* trials: each
+// trial constructs its own sim::Simulation (its own Cluster, apps, RNGs)
+// and runs it to completion. Parallelism is therefore strictly *across*
+// simulations, never within one — a trial's event order, metrics and
+// events_processed() are byte-identical whether it runs on the calling
+// thread or on a worker, which is what keeps the reproduction's numbers
+// seed-stable while the wall clock drops by ~#cores.
+//
+// Design: work-stealing-free. Workers pull trial indices from a single
+// atomic counter (no deques, no stealing, no ordering dependence) and
+// write results into a slot pre-addressed by the submission index, so
+// `run()` returns results in submission order regardless of completion
+// order. The first-failing-*index* exception is rethrown (not the first
+// in wall-clock order, which would be racy).
+//
+// Concurrency knob: NLC_JOBS. Unset or 0 = hardware_concurrency;
+// NLC_JOBS=1 forces the old serial path (trials run inline on the calling
+// thread, no worker threads are created at all).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nlc::harness {
+
+/// Per-trial accounting filled in by the runner (wall clock) and by the
+/// trial itself (simulation events, via TrialContext).
+struct TrialStats {
+  double wall_seconds = 0;
+  std::uint64_t sim_events = 0;
+};
+
+/// Handed to each trial closure. `index` is the submission index;
+/// `sim_events` should be set to Simulation::events_processed() before the
+/// closure returns so the harness can report aggregate events/sec.
+struct TrialContext {
+  std::size_t index = 0;
+  std::uint64_t sim_events = 0;
+};
+
+namespace detail {
+/// Adapts a trial closure taking either (TrialContext&) or (std::size_t).
+template <typename Fn>
+auto invoke_trial(Fn& fn, TrialContext& ctx) {
+  if constexpr (std::is_invocable_v<Fn&, TrialContext&>) {
+    return fn(ctx);
+  } else {
+    return fn(ctx.index);
+  }
+}
+}  // namespace detail
+
+class TrialRunner {
+ public:
+  /// Reads NLC_JOBS; unset/0 means hardware_concurrency, minimum 1.
+  static int env_jobs();
+
+  explicit TrialRunner(int jobs = env_jobs())
+      : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  int jobs() const { return jobs_; }
+
+  /// Executes trials 0..n-1. `fn` is invoked as fn(TrialContext&) or
+  /// fn(std::size_t index), must be const-callable from multiple threads,
+  /// and must not touch shared mutable state (each trial owns its world).
+  /// Returns results in submission order. If any trial throws, the
+  /// exception of the lowest-index failing trial is rethrown after all
+  /// workers have drained.
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(detail::invoke_trial(
+          fn, std::declval<TrialContext&>()))> {
+    using R = decltype(detail::invoke_trial(fn, std::declval<TrialContext&>()));
+    std::vector<std::optional<R>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+    stats_.assign(n, TrialStats{});
+    auto batch_start = std::chrono::steady_clock::now();
+
+    auto one = [&](std::size_t i) {
+      TrialContext ctx;
+      ctx.index = i;
+      auto t0 = std::chrono::steady_clock::now();
+      try {
+        slots[i].emplace(detail::invoke_trial(fn, ctx));
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      stats_[i].wall_seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+      stats_[i].sim_events = ctx.sim_events;
+    };
+
+    int workers = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) one(i);
+    } else {
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          one(i);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
+    }
+
+    auto batch_end = std::chrono::steady_clock::now();
+    batch_wall_seconds_ =
+        std::chrono::duration<double>(batch_end - batch_start).count();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      NLC_CHECK_MSG(slots[i].has_value(), "trial produced no result");
+      out.push_back(std::move(*slots[i]));
+    }
+    return out;
+  }
+
+  /// Accounting for the most recent run().
+  const std::vector<TrialStats>& stats() const { return stats_; }
+  /// Wall clock of the whole batch (not the sum of per-trial times).
+  double batch_wall_seconds() const { return batch_wall_seconds_; }
+  /// Sum of per-trial wall clocks (= serial-equivalent time).
+  double total_trial_seconds() const;
+  std::uint64_t total_sim_events() const;
+  /// Aggregate simulation events per wall-clock second of the batch.
+  double events_per_second() const;
+
+ private:
+  int jobs_;
+  std::vector<TrialStats> stats_;
+  double batch_wall_seconds_ = 0;
+};
+
+}  // namespace nlc::harness

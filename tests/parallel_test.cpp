@@ -1,0 +1,228 @@
+// Determinism regression tests for the parallel trial runner and the
+// event-loop coroutine fast path: identical seeds must produce
+// byte-identical metrics and event counts (a) serial vs parallel runner,
+// (b) across repeats, (c) fast-path vs generic resume queue entries.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "util/time.hpp"
+
+namespace nlc {
+namespace {
+
+using harness::RunConfig;
+using harness::RunResult;
+using harness::TrialContext;
+using harness::TrialRunner;
+
+/// Exact (bit-for-bit) fingerprint of everything the benches report.
+std::string fingerprint(const RunResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.throughput_rps << '|' << r.requests_completed << '|'
+     << r.mean_latency_ms << '|' << r.batch_runtime << '|'
+     << r.metrics.epochs_completed << '|' << r.metrics.bytes_shipped << '|'
+     << r.metrics.stop_time_ms.sum() << '|' << r.metrics.dirty_pages.sum()
+     << '|' << r.metrics.state_bytes.sum() << '|' << r.recovered << '|'
+     << r.kv_errors << '|' << r.broken_connections << '|' << r.sim_events;
+  return os.str();
+}
+
+/// A small but representative trial mix: interactive + batch, protected +
+/// stock, one fault-injection run.
+std::vector<RunConfig> trial_mix() {
+  std::vector<RunConfig> cfgs;
+  {
+    RunConfig cfg;
+    cfg.spec = apps::netecho_spec();
+    cfg.mode = harness::Mode::kNiLiCon;
+    cfg.measure = nlc::milliseconds(800);
+    cfg.client_connections = 2;
+    cfg.seed = 11;
+    cfgs.push_back(cfg);
+  }
+  {
+    RunConfig cfg;
+    cfg.spec = apps::streamcluster_spec();
+    cfg.mode = harness::Mode::kNiLiCon;
+    cfg.batch_work = nlc::milliseconds(300);
+    cfg.seed = 22;
+    cfgs.push_back(cfg);
+  }
+  {
+    RunConfig cfg;
+    cfg.spec = apps::netecho_spec();
+    cfg.mode = harness::Mode::kStock;
+    cfg.measure = nlc::milliseconds(800);
+    cfg.seed = 33;
+    cfgs.push_back(cfg);
+  }
+  {
+    RunConfig cfg;
+    cfg.spec = apps::netecho_spec();
+    cfg.mode = harness::Mode::kNiLiCon;
+    cfg.measure = nlc::seconds(3);
+    cfg.inject_fault = true;
+    cfg.seed = 44;
+    cfgs.push_back(cfg);
+  }
+  return cfgs;
+}
+
+std::vector<std::string> run_mix(TrialRunner& runner) {
+  auto cfgs = trial_mix();
+  auto rs = runner.run(cfgs.size(), [&](TrialContext& ctx) {
+    RunResult r = harness::run_experiment(cfgs[ctx.index]);
+    ctx.sim_events = r.sim_events;
+    return fingerprint(r);
+  });
+  return rs;
+}
+
+TEST(TrialRunnerDeterminism, SerialVsParallelByteIdentical) {
+  TrialRunner serial(1);
+  TrialRunner parallel(4);
+  auto a = run_mix(serial);
+  auto b = run_mix(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "trial " << i;
+  }
+  // events_processed flows through TrialContext identically.
+  ASSERT_EQ(serial.stats().size(), parallel.stats().size());
+  for (std::size_t i = 0; i < serial.stats().size(); ++i) {
+    EXPECT_EQ(serial.stats()[i].sim_events, parallel.stats()[i].sim_events);
+    EXPECT_GT(serial.stats()[i].sim_events, 0u);
+  }
+  EXPECT_GT(serial.total_sim_events(), 0u);
+  EXPECT_EQ(serial.total_sim_events(), parallel.total_sim_events());
+}
+
+TEST(TrialRunnerDeterminism, RepeatsByteIdentical) {
+  TrialRunner r1(4);
+  TrialRunner r2(4);
+  EXPECT_EQ(run_mix(r1), run_mix(r2));
+}
+
+TEST(TrialRunner, ResultsInSubmissionOrder) {
+  TrialRunner runner(8);
+  auto out = runner.run(64, [](std::size_t i) { return i * 3; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(TrialRunner, LowestIndexExceptionPropagates) {
+  TrialRunner runner(4);
+  EXPECT_THROW(
+      {
+        try {
+          runner.run(16, [](std::size_t i) -> int {
+            if (i == 11) throw std::runtime_error("trial 11 failed");
+            if (i == 5) throw std::runtime_error("trial 5 failed");
+            return 0;
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "trial 5 failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(TrialRunner, SerialPathCreatesNoThreads) {
+  // NLC_JOBS=1 semantics: jobs()==1 runs inline; also n==1 with many jobs.
+  TrialRunner runner(1);
+  auto ids = runner.run(3, [](std::size_t) {
+    return std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(TrialRunner, WallClockAccounting) {
+  TrialRunner runner(2);
+  runner.run(4, [](TrialContext& ctx) {
+    ctx.sim_events = 100;
+    return 0;
+  });
+  EXPECT_EQ(runner.total_sim_events(), 400u);
+  EXPECT_GE(runner.batch_wall_seconds(), 0.0);
+  EXPECT_GE(runner.total_trial_seconds(), 0.0);
+}
+
+// ---- (c) fast-path vs generic resume entry --------------------------------
+
+sim::task<> mixed_workload(sim::Simulation& sim, sim::Event& ev,
+                           std::vector<int>& log, int id) {
+  for (int i = 0; i < 50; ++i) {
+    co_await sim.sleep_for(nlc::microseconds(7 + id));
+    log.push_back(id * 1000 + i);
+    if (i == 25 && id == 0) ev.set();
+  }
+}
+
+sim::task<> event_waiter(sim::Event& ev, std::vector<int>& log) {
+  co_await ev.wait();
+  log.push_back(-1);
+}
+
+struct EngineTrace {
+  std::vector<int> log;
+  std::uint64_t events = 0;
+  Time end_time = 0;
+};
+
+EngineTrace run_engine(bool fast_path) {
+  sim::Simulation sim;
+  sim.set_resume_fast_path(fast_path);
+  sim::Event ev(sim);
+  EngineTrace tr;
+  // Mix of plain resumes, sync-primitive wakeups, timers, and a domain
+  // kill mid-run (dead-domain wakeups must be skipped identically).
+  auto dom = std::make_shared<sim::Domain>("victim");
+  sim.spawn(event_waiter(ev, tr.log));
+  for (int id = 0; id < 4; ++id) {
+    sim.spawn(id == 3 ? dom : nullptr, mixed_workload(sim, ev, tr.log, id));
+  }
+  sim.call_after(nlc::microseconds(100),
+                 [&] { tr.log.push_back(-2); });
+  sim.call_after(nlc::microseconds(120), [&] { dom->kill(); });
+  sim.run();
+  tr.events = sim.events_processed();
+  tr.end_time = sim.now();
+  sim.shutdown();
+  return tr;
+}
+
+TEST(SimEngineDeterminism, FastPathVsGenericEntryIdentical) {
+  EngineTrace fast = run_engine(true);
+  EngineTrace generic = run_engine(false);
+  EXPECT_EQ(fast.log, generic.log);
+  EXPECT_EQ(fast.events, generic.events);
+  EXPECT_EQ(fast.end_time, generic.end_time);
+  EXPECT_GT(fast.events, 0u);
+}
+
+TEST(SimEngineDeterminism, ExperimentEventsStableAcrossRepeats) {
+  RunConfig cfg;
+  cfg.spec = apps::netecho_spec();
+  cfg.mode = harness::Mode::kNiLiCon;
+  cfg.measure = nlc::milliseconds(500);
+  cfg.seed = 7;
+  RunResult a = harness::run_experiment(cfg);
+  RunResult b = harness::run_experiment(cfg);
+  EXPECT_GT(a.sim_events, 0u);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+}  // namespace
+}  // namespace nlc

@@ -22,6 +22,7 @@
 
 #include "apps/catalog.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "util/assert.hpp"
 
 namespace {
@@ -83,46 +84,77 @@ int main(int argc, char** argv) {
 
   check::AuditStats total;
   std::uint64_t runs_passed = 0;
+
+  // One independent simulation per seed: the sweep is the repo's canonical
+  // embarrassingly-parallel workload, so it runs on the TrialRunner
+  // (NLC_JOBS workers, results in seed order). Exceptions are captured
+  // per-trial so the report below is deterministic: the lowest failing
+  // seed wins, exactly as in the serial sweep.
+  struct SeedOutcome {
+    harness::RunResult r;
+    bool violation = false;
+    bool error = false;
+    std::string what;
+  };
+  harness::TrialRunner runner;
+  std::vector<SeedOutcome> outcomes = runner.run(
+      seeds, [&](harness::TrialContext& ctx) {
+        std::uint64_t s = base_seed + ctx.index;
+        const apps::AppSpec& spec = catalog[s % catalog.size()];
+        harness::RunConfig cfg;
+        cfg.spec = spec;
+        cfg.mode = harness::Mode::kNiLiCon;
+        // Alternate the delta codec so both wire paths get audited; row 6
+        // is every CRIU optimization without compression, row 7 adds it.
+        cfg.nilicon = core::Options::table1_row(s % 2 == 1 ? 7 : 6);
+        cfg.nilicon.seed = s;
+        cfg.nilicon.audit_level = level;
+        cfg.seed = s;
+        cfg.measure = measure;
+        cfg.warmup = nlc::milliseconds(300);
+        cfg.batch_work = measure;
+        cfg.inject_fault = fault;  // crash at a seed-randomized epoch
+        if (spec.interactive) {
+          // Real KV payloads give the interactive apps content pages, so
+          // the COW-freeze, delta-replay and restore-equivalence checkers
+          // see actual bytes instead of accounting-only pages.
+          cfg.kv_validation = true;
+          if (cfg.spec.kv_pages == 0) cfg.spec.kv_pages = 512;
+        }
+
+        SeedOutcome out;
+        try {
+          out.r = harness::run_experiment(cfg);
+          ctx.sim_events = out.r.sim_events;
+        } catch (const InvariantError& e) {
+          out.violation = true;
+          out.what = e.what();
+        } catch (const std::exception& e) {
+          out.error = true;
+          out.what = e.what();
+        }
+        return out;
+      });
+
   for (std::uint64_t s = base_seed; s < base_seed + seeds; ++s) {
     const apps::AppSpec& spec = catalog[s % catalog.size()];
-    harness::RunConfig cfg;
-    cfg.spec = spec;
-    cfg.mode = harness::Mode::kNiLiCon;
-    // Alternate the delta codec so both wire paths get audited; row 6 is
-    // every CRIU optimization without compression, row 7 adds it.
-    cfg.nilicon = core::Options::table1_row(s % 2 == 1 ? 7 : 6);
-    cfg.nilicon.seed = s;
-    cfg.nilicon.audit_level = level;
-    cfg.seed = s;
-    cfg.measure = measure;
-    cfg.warmup = nlc::milliseconds(300);
-    cfg.batch_work = measure;
-    cfg.inject_fault = fault;  // crash at a seed-randomized epoch
-    if (spec.interactive) {
-      // Real KV payloads give the interactive apps content pages, so the
-      // COW-freeze, delta-replay and restore-equivalence checkers see
-      // actual bytes instead of accounting-only pages.
-      cfg.kv_validation = true;
-      if (cfg.spec.kv_pages == 0) cfg.spec.kv_pages = 512;
-    }
-
-    harness::RunResult r;
-    try {
-      r = harness::run_experiment(cfg);
-    } catch (const InvariantError& e) {
+    SeedOutcome& out = outcomes[s - base_seed];
+    if (out.violation) {
       std::fprintf(stderr,
                    "VIOLATION seed=%llu workload=%s level=%s\n  %s\n",
                    static_cast<unsigned long long>(s), spec.name.c_str(),
                    level == core::AuditLevel::kContinuous ? "continuous"
                                                           : "commit",
-                   e.what());
-      return 1;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "ERROR seed=%llu workload=%s\n  %s\n",
-                   static_cast<unsigned long long>(s), spec.name.c_str(),
-                   e.what());
+                   out.what.c_str());
       return 1;
     }
+    if (out.error) {
+      std::fprintf(stderr, "ERROR seed=%llu workload=%s\n  %s\n",
+                   static_cast<unsigned long long>(s), spec.name.c_str(),
+                   out.what.c_str());
+      return 1;
+    }
+    harness::RunResult& r = out.r;
     if (fault && !r.recovered) {
       std::fprintf(stderr, "ERROR seed=%llu workload=%s: fault injected but "
                    "no failover happened\n",
@@ -155,6 +187,11 @@ int main(int argc, char** argv) {
     ++runs_passed;
   }
 
+  std::printf("[runner] %llu seeds on %d jobs: %.2fs wall "
+              "(serial-equivalent %.2fs), %.2fM events/sec\n",
+              static_cast<unsigned long long>(seeds), runner.jobs(),
+              runner.batch_wall_seconds(), runner.total_trial_seconds(),
+              runner.events_per_second() / 1e6);
   std::printf(
       "PASS %llu/%llu runs, %llu invariant checks "
       "(occ=%llu epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu), "
