@@ -84,6 +84,10 @@ class BackupAgent {
   std::function<void(const FailoverContext&)> on_restored_;
 
   std::unique_ptr<criu::PageStore> pages_;
+  /// Non-null iff pages_ is a RadixPageStore: lets the commit fold take
+  /// the sharded store_batch() fast path (DESIGN.md §10) without a
+  /// dynamic_cast per epoch.
+  criu::RadixPageStore* radix_ = nullptr;
   std::optional<criu::CheckpointImage> committed_image_;  // latest records
   std::map<std::pair<kern::InodeNum, std::uint64_t>, kern::DncPageEntry>
       committed_fs_pages_;

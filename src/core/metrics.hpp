@@ -8,6 +8,16 @@
 
 namespace nlc::core {
 
+/// Wall-clock (steady_clock) nanoseconds spent in each stage of the
+/// sharded intra-epoch page pipeline (DESIGN.md §10). Observability only:
+/// these never feed back into simulated time or the cost model, so the
+/// simulation's numbers stay identical across shard counts.
+struct ShardStageNanos {
+  std::uint64_t harvest = 0;  // frozen-state page-record fill
+  std::uint64_t encode = 0;   // delta encode + wire-size stamping
+  std::uint64_t fold = 0;     // backup radix-store fold
+};
+
 struct ReplicationMetrics {
   /// Per-epoch container stop time (Table III / IV).
   Samples stop_time_ms;
@@ -31,6 +41,12 @@ struct ReplicationMetrics {
   /// (each one a 4 KiB deep copy the pre-zero-copy pipeline would have
   /// made at harvest alone).
   std::uint64_t payload_copies_avoided = 0;
+
+  // ---- Sharded page pipeline (DESIGN.md §10) ------------------------------
+  /// Shard count the agent pair ran with (resolved from Options/NLC_SHARDS).
+  int page_shards_used = 1;
+  /// Per-stage wall-clock accounting (not simulated time).
+  ShardStageNanos shard_stage_ns;
 
   /// Simulated CPU time the backup agent spent processing state (Table V).
   Time backup_busy = 0;

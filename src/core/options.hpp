@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/time.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nlc::core {
 
@@ -64,6 +65,18 @@ struct Options {
   /// Runtime invariant auditing (src/check). The harness attaches an
   /// InvariantAuditor to the agent pair when this is not kOff.
   AuditLevel audit_level = AuditLevel::kOff;
+
+  /// DESIGN.md §10: intra-epoch page-pipeline shard count. 0 = auto
+  /// (NLC_SHARDS env, else hardware concurrency); 1 = the serial reference
+  /// engine. All shipped bytes, stats and visit counts are byte-identical
+  /// for any value — only wall clock changes.
+  int page_shards = 0;
+
+  int resolved_page_shards() const {
+    int s = page_shards > 0 ? page_shards : util::env_shards();
+    if (s < 1) return 1;
+    return s > util::kMaxShards ? util::kMaxShards : s;
+  }
 
   /// The seven cumulative configurations of Table I, row index 0..6.
   /// Row 7 is our ablation extension: everything plus page delta

@@ -1,10 +1,21 @@
 #include "core/primary_agent.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nlc::core {
+
+namespace {
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+}  // namespace
 
 PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
                            net::TcpStack& tcp, kern::ContainerId cid,
@@ -14,8 +25,11 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid), drbd_(&drbd),
       state_out_(&state_out), ack_in_(&ack_in), hb_out_(&hb_out),
       metrics_(&metrics), ckpt_(kernel, tcp), cache_(kernel, cid),
+      delta_(opts.resolved_page_shards()),
       rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
-      ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {}
+      ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {
+  metrics_->page_shards_used = delta_.shards();
+}
 
 net::IpAddr PrimaryAgent::service_ip() const {
   return static_cast<net::IpAddr>(kernel_->container(cid_)->service_ip());
@@ -155,14 +169,23 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   drbd_->send_barrier(epoch);
 
   // ---- Harvest the container state (CRIU engine) ---------------------------
+  // Sharded page pipeline (DESIGN.md §10): harvest fill, delta encode and
+  // the backup's fold all fan out on the shared pool when shards > 1;
+  // outputs are byte-identical to the serial engine either way.
+  int pshards = delta_.shards();
+  util::WorkerPool* ppool = pshards > 1 ? &util::shard_pool() : nullptr;
   criu::HarvestOptions ho;
   ho.incremental = !initial;
   ho.vma_via_netlink = opts_.vma_via_netlink;
   ho.pages_via_shared_memory = opts_.pages_via_shared_memory;
   ho.fs_cache_via_dnc = opts_.fs_cache_via_dnc;
+  ho.shards = pshards;
+  ho.pool = ppool;
   const criu::InfrequentState* cached =
       opts_.cache_infrequent_state ? cache_.get() : nullptr;
+  auto harvest_t0 = std::chrono::steady_clock::now();
   criu::HarvestResult hr = ckpt_.harvest(cid_, epoch, cached, ho);
+  metrics_->shard_stage_ns.harvest += ns_since(harvest_t0);
   if (opts_.cache_infrequent_state) cache_.update(hr.image.infrequent);
   co_await sim.sleep_for(hr.cost.total());
   metrics_->primary_agent_busy += hr.cost.total();
@@ -174,7 +197,9 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     // Stamp per-page compressed wire sizes (real XOR/run-length encode
     // against the last shipped versions); the modeled CPU cost rides the
     // shipping path below.
-    criu::EpochDeltaStats ds = delta_.encode_epoch(hr.image);
+    auto encode_t0 = std::chrono::steady_clock::now();
+    criu::EpochDeltaStats ds = delta_.encode_epoch(hr.image, ppool);
+    metrics_->shard_stage_ns.encode += ns_since(encode_t0);
     msg.compressed_pages = ds.content_pages;
     if (!initial && ds.content_pages > 0) {
       metrics_->compression_ratio.add(ds.ratio());

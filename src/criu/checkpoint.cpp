@@ -3,8 +3,52 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nlc::criu {
+
+namespace {
+
+/// Fills pages[base .. base+n) from an index-addressable source. Each slot
+/// depends only on its own source entry, so contiguous chunks writing
+/// disjoint slots reproduce the serial image byte for byte (DESIGN.md
+/// §10); the content-page count folds per chunk in chunk order. Returns
+/// the number of content pages filled.
+template <typename FillOne>
+std::uint64_t fill_page_records(std::vector<PageRecord>& pages,
+                                std::size_t base, std::size_t n, int shards,
+                                util::WorkerPool* pool, FillOne fill_one) {
+  pages.resize(base + n);
+  if (shards <= 1 || n < 2) {
+    std::uint64_t content = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fill_one(i, pages[base + i])) ++content;
+    }
+    return content;
+  }
+  std::size_t nchunks =
+      std::min<std::size_t>(static_cast<std::size_t>(shards), n);
+  std::vector<std::uint64_t> per(nchunks, 0);
+  auto chunk = [&](std::size_t c) {
+    std::size_t lo = n * c / nchunks;
+    std::size_t hi = n * (c + 1) / nchunks;
+    std::uint64_t count = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (fill_one(i, pages[base + i])) ++count;
+    }
+    per[c] = count;
+  };
+  if (pool != nullptr) {
+    pool->run(nchunks, chunk);
+  } else {
+    for (std::size_t c = 0; c < nchunks; ++c) chunk(c);
+  }
+  std::uint64_t content = 0;
+  for (std::uint64_t v : per) content += v;
+  return content;
+}
+
+}  // namespace
 
 InfrequentState CheckpointEngine::harvest_infrequent(kern::ContainerId cid,
                                                      Time* cost_out) const {
@@ -146,17 +190,16 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
       std::vector<kern::PageNum> dirty(mm.dirty_pages().begin(),
                                        mm.dirty_pages().end());
       std::sort(dirty.begin(), dirty.end());  // deterministic image order
-      img.pages.reserve(img.pages.size() + dirty.size());
-      for (kern::PageNum pg : dirty) {
-        auto it = states.find(pg);  // one probe for version + payload
-        NLC_CHECK_MSG(it != states.end(), "dirty page without state");
-        PageRecord rec;
-        rec.page = pg;
-        rec.version = it->second.version;
-        rec.content = it->second.payload;
-        if (rec.has_content()) ++r.content_pages;
-        img.pages.push_back(std::move(rec));
-      }
+      r.content_pages += fill_page_records(
+          img.pages, img.pages.size(), dirty.size(), opts.shards, opts.pool,
+          [&](std::size_t i, PageRecord& rec) {
+            auto it = states.find(dirty[i]);  // one probe: version + payload
+            NLC_CHECK_MSG(it != states.end(), "dirty page without state");
+            rec.page = dirty[i];
+            rec.version = it->second.version;
+            rec.content = it->second.payload;
+            return rec.has_content();
+          });
     } else {
       // Full dump: only pages that were ever touched are present — anon
       // pages never written have no physical frame and CRIU does not dump
@@ -169,15 +212,14 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
       for (const auto& [pg, st] : states) resident.emplace_back(pg, &st);
       std::sort(resident.begin(), resident.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      img.pages.reserve(img.pages.size() + resident.size());
-      for (const auto& [pg, st] : resident) {
-        PageRecord rec;
-        rec.page = pg;
-        rec.version = st->version;
-        rec.content = st->payload;
-        if (rec.has_content()) ++r.content_pages;
-        img.pages.push_back(std::move(rec));
-      }
+      r.content_pages += fill_page_records(
+          img.pages, img.pages.size(), resident.size(), opts.shards,
+          opts.pool, [&](std::size_t i, PageRecord& rec) {
+            rec.page = resident[i].first;
+            rec.version = resident[i].second->version;
+            rec.content = resident[i].second->payload;
+            return rec.has_content();
+          });
     }
     // This checkpoint captured everything dirty: re-arm tracking.
     mm.clear_soft_dirty();

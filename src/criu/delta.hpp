@@ -22,13 +22,17 @@
 // whose encoded size would exceed the raw page ship uncompressed.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
 #include "criu/image.hpp"
+#include "criu/shard.hpp"
 #include "kernel/address_space.hpp"
 #include "util/assert.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nlc::criu {
 
@@ -51,9 +55,53 @@ struct PageDelta {
   std::uint32_t wire_size = 0;
 };
 
+namespace detail {
+
+/// Computes framing + raw-fallback for an assembled run list (shared tail
+/// of both encoder kernels).
+inline void seal_delta(PageDelta& d) {
+  std::uint32_t size = kDeltaPageHeader;
+  for (const PageDelta::Run& r : d.runs) {
+    size += kDeltaRunHeader + static_cast<std::uint32_t>(r.bytes.size());
+  }
+  if (size >= nlc::kPageSize) {
+    d.raw = true;
+    d.runs.clear();
+    d.wire_size = static_cast<std::uint32_t>(nlc::kPageSize);
+  } else {
+    d.wire_size = size;
+  }
+}
+
+/// First index in [i, n) where a and b differ; n if none. Word-at-a-time
+/// on little-endian targets (countr_zero of the XOR picks the first
+/// mismatching byte inside the word), byte-at-a-time otherwise.
+inline std::uint32_t first_mismatch(const std::byte* a, const std::byte* b,
+                                    std::uint32_t i, std::uint32_t n) {
+  if constexpr (std::endian::native == std::endian::little) {
+    while (i + 8 <= n) {
+      std::uint64_t x = 0;
+      std::uint64_t y = 0;
+      std::memcpy(&x, a + i, 8);
+      std::memcpy(&y, b + i, 8);
+      if (x != y) {
+        return i +
+               static_cast<std::uint32_t>(std::countr_zero(x ^ y) >> 3);
+      }
+      i += 8;
+    }
+  }
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace detail
+
 /// Encodes `cur` against reference `prev` (null => raw). Adjacent changed
 /// bytes closer than the run-header cost are merged into one run, which is
-/// what a real encoder would do to minimize framing.
+/// what a real encoder would do to minimize framing. This is the reference
+/// kernel: byte-at-a-time, used by the serial (NLC_SHARDS=1) pipeline and
+/// as the oracle the fast kernel is property-tested against.
 inline PageDelta delta_encode(const kern::PageBytes* prev,
                               const kern::PageBytes& cur) {
   NLC_CHECK(cur.size() == nlc::kPageSize);
@@ -90,17 +138,59 @@ inline PageDelta delta_encode(const kern::PageBytes* prev,
     run.bytes.assign(cur.begin() + start, cur.begin() + last_diff + 1);
     d.runs.push_back(std::move(run));
   }
-  std::uint32_t size = kDeltaPageHeader;
-  for (const PageDelta::Run& r : d.runs) {
-    size += kDeltaRunHeader + static_cast<std::uint32_t>(r.bytes.size());
-  }
-  if (size >= nlc::kPageSize) {
+  detail::seal_delta(d);
+  return d;
+}
+
+/// Word-scanning encoder kernel used by the sharded pipeline (DESIGN.md
+/// §10): equal spans — the overwhelming majority of bytes of a typical
+/// dirty page — are skipped 8 bytes per compare instead of 1, with run
+/// boundaries still resolved at byte granularity. Produces runs, raw flag
+/// and wire_size bit-identical to delta_encode() for every input
+/// (tests/shard_determinism_test, property_test).
+inline PageDelta delta_encode_fast(const kern::PageBytes* prev,
+                                   const kern::PageBytes& cur) {
+  NLC_CHECK(cur.size() == nlc::kPageSize);
+  PageDelta d;
+  if (prev == nullptr) {
     d.raw = true;
-    d.runs.clear();
     d.wire_size = static_cast<std::uint32_t>(nlc::kPageSize);
-  } else {
-    d.wire_size = size;
+    return d;
   }
+  NLC_CHECK(prev->size() == nlc::kPageSize);
+  const std::byte* a = cur.data();
+  const std::byte* b = prev->data();
+  const auto n = static_cast<std::uint32_t>(nlc::kPageSize);
+  std::uint32_t i = detail::first_mismatch(a, b, 0, n);
+  while (i < n) {
+    std::uint32_t start = i;
+    std::uint32_t last_diff = i;
+    ++i;
+    while (i < n) {
+      if (a[i] != b[i]) {
+        last_diff = i++;
+        continue;
+      }
+      // Equal byte: jump to the next mismatch and absorb the gap iff it
+      // is no wider than the framing a new run would cost (the same
+      // decision the reference kernel makes one byte at a time: it keeps
+      // absorbing equal bytes while i - last_diff <= kDeltaRunHeader, so a
+      // next diff at last_diff + kDeltaRunHeader + 1 still extends the
+      // run).
+      std::uint32_t j = detail::first_mismatch(a, b, i, n);
+      if (j >= n || j - last_diff > kDeltaRunHeader + 1) {
+        i = j;
+        break;
+      }
+      last_diff = j;
+      i = j + 1;
+    }
+    PageDelta::Run run;
+    run.offset = start;
+    run.bytes.assign(cur.begin() + start, cur.begin() + last_diff + 1);
+    d.runs.push_back(std::move(run));
+  }
+  detail::seal_delta(d);
   return d;
 }
 
@@ -139,37 +229,103 @@ struct EpochDeltaStats {
 
 /// Primary-side per-container compression stage. Keeps the last shipped
 /// payload of every content page as a shared handle.
+///
+/// Sharded mode (shards > 1, DESIGN.md §10): the reference set is split
+/// into independent per-shard maps keyed by shard_of(page) — a page's
+/// references live in one shard forever, so encode_epoch() fans the
+/// per-shard encode out on the worker pool with no locks, using the
+/// word-scanning kernel. Stats merge by summation in shard order. Stamped
+/// wire sizes and EpochDeltaStats are byte-identical for any shard count;
+/// shards == 1 is the exact serial pre-shard engine (reference kernel,
+/// one map).
 class DeltaCodec {
  public:
+  explicit DeltaCodec(int shards = 1)
+      : prev_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+  int shards() const { return static_cast<int>(prev_.size()); }
+
   /// Encodes every content page of `img` against the previously shipped
   /// version, stamping PageRecord::wire_size, and advances the reference
   /// set. Accounting pages (no bytes to diff) keep full wire cost.
-  EpochDeltaStats encode_epoch(CheckpointImage& img) {
-    EpochDeltaStats st;
-    for (PageRecord& rec : img.pages) {
-      if (!rec.has_content()) continue;
-      ++st.content_pages;
-      st.raw_bytes += nlc::kPageSize;
-      auto it = prev_.find(rec.page);
-      const kern::PageBytes* ref =
-          it == prev_.end() ? nullptr : it->second.get();
-      PageDelta d = delta_encode(ref, *rec.content);
-      rec.wire_size = d.wire_size;
-      st.wire_bytes += d.wire_size;
-      if (d.raw) {
-        ++st.raw_pages;
-      } else {
-        ++st.delta_pages;
+  /// `pool` (null = inline shard loop) carries the sharded fan-out.
+  EpochDeltaStats encode_epoch(CheckpointImage& img,
+                               util::WorkerPool* pool = nullptr) {
+    if (shards() == 1) {
+      EpochDeltaStats st;
+      for (PageRecord& rec : img.pages) {
+        encode_one(rec, prev_[0], st, /*fast=*/false);
       }
-      prev_[rec.page] = rec.content;  // refcount bump, no byte copy
+      return st;
+    }
+    ShardPlan plan = ShardPlan::build(img.pages, shards());
+    std::vector<EpochDeltaStats> per(prev_.size());
+    auto encode_shard = [&](std::size_t s) {
+      for (std::uint32_t idx : plan.buckets[s]) {
+        encode_one(img.pages[idx], prev_[s], per[s], /*fast=*/true);
+      }
+    };
+    if (pool != nullptr) {
+      pool->run(prev_.size(), encode_shard);
+    } else {
+      for (std::size_t s = 0; s < prev_.size(); ++s) encode_shard(s);
+    }
+    // Deterministic merge: u64 sums folded in shard-index order.
+    EpochDeltaStats st;
+    for (const EpochDeltaStats& p : per) {
+      st.content_pages += p.content_pages;
+      st.delta_pages += p.delta_pages;
+      st.raw_pages += p.raw_pages;
+      st.raw_bytes += p.raw_bytes;
+      st.wire_bytes += p.wire_bytes;
     }
     return st;
   }
 
-  std::uint64_t reference_pages() const { return prev_.size(); }
+  std::uint64_t reference_pages() const {
+    std::uint64_t n = 0;
+    for (const auto& m : prev_) n += m.size();
+    return n;
+  }
 
  private:
-  std::unordered_map<kern::PageNum, kern::PagePayload> prev_;
+  using RefMap = std::unordered_map<kern::PageNum, kern::PagePayload>;
+
+  static void encode_one(PageRecord& rec, RefMap& refs, EpochDeltaStats& st,
+                         bool fast) {
+    if (!rec.has_content()) return;
+    ++st.content_pages;
+    st.raw_bytes += nlc::kPageSize;
+    // One hash probe serves both the reference lookup and the
+    // advance-reference store (the encode and stamp paths used to hit the
+    // map separately per page).
+    auto [it, inserted] = refs.try_emplace(rec.page);
+    if (fast && !inserted && it->second == rec.content) {
+      // Identity fast path: the record still carries the exact handle we
+      // shipped last epoch. The address space clones-on-write whenever a
+      // payload is shared — and our reference handle keeps it shared — so
+      // handle identity proves the bytes are unchanged. The reference
+      // kernel would scan 2x4 KiB to emit zero runs; the result is the
+      // same header-only delta either way.
+      rec.wire_size = kDeltaPageHeader;
+      st.wire_bytes += kDeltaPageHeader;
+      ++st.delta_pages;
+      return;
+    }
+    const kern::PageBytes* ref = inserted ? nullptr : it->second.get();
+    PageDelta d =
+        fast ? delta_encode_fast(ref, *rec.content) : delta_encode(ref, *rec.content);
+    rec.wire_size = d.wire_size;
+    st.wire_bytes += d.wire_size;
+    if (d.raw) {
+      ++st.raw_pages;
+    } else {
+      ++st.delta_pages;
+    }
+    it->second = rec.content;  // refcount bump, no byte copy
+  }
+
+  std::vector<RefMap> prev_;
 };
 
 }  // namespace nlc::criu

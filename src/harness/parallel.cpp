@@ -1,6 +1,7 @@
 #include "harness/parallel.hpp"
 
 #include <cstdlib>
+#include <thread>
 
 namespace nlc::harness {
 

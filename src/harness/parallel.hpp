@@ -15,23 +15,28 @@
 // order. The first-failing-*index* exception is rethrown (not the first
 // in wall-clock order, which would be racy).
 //
+// The fan-out itself lives in util::WorkerPool (shared with the sharded
+// intra-epoch page pipeline, DESIGN.md §10); TrialRunner owns a pool of
+// jobs-1 helpers, created lazily on the first parallel run() and reused
+// across batches, with the calling thread always participating.
+//
 // Concurrency knob: NLC_JOBS. Unset or 0 = hardware_concurrency;
 // NLC_JOBS=1 forces the old serial path (trials run inline on the calling
 // thread, no worker threads are created at all).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <optional>
-#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/worker_pool.hpp"
 
 namespace nlc::harness {
 
@@ -108,18 +113,10 @@ class TrialRunner {
     if (workers <= 1) {
       for (std::size_t i = 0; i < n; ++i) one(i);
     } else {
-      std::atomic<std::size_t> next{0};
-      auto worker = [&] {
-        for (;;) {
-          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) return;
-          one(i);
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-      for (auto& t : pool) t.join();
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<util::WorkerPool>(jobs_ - 1);
+      }
+      pool_->run(n, one);
     }
 
     auto batch_end = std::chrono::steady_clock::now();
@@ -150,6 +147,9 @@ class TrialRunner {
 
  private:
   int jobs_;
+  /// Lazily created on the first parallel run(); reused across batches so
+  /// repeated sweeps do not pay thread creation per call.
+  std::unique_ptr<util::WorkerPool> pool_;
   std::vector<TrialStats> stats_;
   double batch_wall_seconds_ = 0;
 };

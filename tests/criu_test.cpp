@@ -111,6 +111,24 @@ TEST(ListPageStoreTest, CostGrowsWithCheckpointCount) {
   EXPECT_EQ(visits_at_100, 101u);  // walks all prior directories (§V-A)
 }
 
+TEST(ListPageStoreTest, HotPageCostIsConstantAfterEarlyExit) {
+  // A page stored every checkpoint lives in exactly one (the previous)
+  // directory, so the backward walk stops after one hop: 1 visit to find
+  // and drop the old copy + 1 to insert = 2, independent of history.
+  // Cold pages (CostGrowsWithCheckpointCount) still pay the full walk, so
+  // the §V-A O(#checkpoints) behaviour the radix store fixes is intact.
+  ListPageStore store;
+  store.begin_checkpoint(0);
+  EXPECT_EQ(store.store(rec(42)), 1u);
+  for (int e = 1; e <= 50; ++e) {
+    store.begin_checkpoint(e);
+    store.store(rec(1000 + e));   // unrelated churn
+    EXPECT_EQ(store.store(rec(42, e)), 2u);
+  }
+  EXPECT_EQ(store.page_count(), 51u);
+  EXPECT_EQ(store.lookup(42)->version, 50u);
+}
+
 TEST(RadixPageStoreTest, CostIsConstant) {
   RadixPageStore store;
   store.begin_checkpoint(0);

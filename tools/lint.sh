@@ -51,6 +51,15 @@ scan '(^|[^_[:alnum:]])delete[[:space:]]+[[:alnum:]_]' \
     'naked delete — owning raw pointers are banned' \
     '//|= delete|delete\]'
 
+# Raw thread spawning: all fan-out goes through util::WorkerPool (or the
+# TrialRunner on top of it) so the nested-pool policy and the
+# deterministic-merge contract cannot be bypassed. hardware_concurrency
+# queries and the pool implementation itself are allowed; tests may use
+# std::async to exercise pool concurrency.
+scan 'std::thread|std::jthread' \
+    'raw std::thread — use util::WorkerPool (src/util/worker_pool.hpp)' \
+    '//|worker_pool|hardware_concurrency'
+
 if [ "$status" -eq 0 ]; then
     echo "lint: OK"
 fi
