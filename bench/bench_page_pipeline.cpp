@@ -1,7 +1,7 @@
 // Wall-clock microbenchmark of the zero-copy checkpoint page pipeline
 // (extension; see DESIGN.md §7).
 //
-// Measures real ns/page (std::chrono, not simulated time) for one epoch of
+// Measures real ns/page (wall clock, not simulated time) for one epoch of
 // harvest -> ship -> commit over N content pages, twice:
 //  * zero-copy: the engine as built — payload handles flow from the address
 //    space through the image into the radix store; commit is a refcount
@@ -26,7 +26,6 @@
 //
 // Modes: default ~20K pages; --smoke 2K (CI); --full / NLC_BENCH_FULL=1
 // the acceptance-scale 100K.
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -41,16 +40,15 @@
 #include "net/network.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulation.hpp"
+#include "util/time.hpp"
 #include "util/worker_pool.hpp"
 
 namespace {
 
 using namespace nlc;
-using Clock = std::chrono::steady_clock;
 
-double ns_between(Clock::time_point a, Clock::time_point b) {
-  return static_cast<double>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+double ns_between(std::uint64_t a_ns, std::uint64_t b_ns) {
+  return static_cast<double>(b_ns - a_ns);
 }
 
 /// One self-contained world: a frozen container with `npages` of real
@@ -101,7 +99,7 @@ struct World {
 double run_pipeline_ns_per_page(World& w, std::uint64_t epoch,
                                 bool deep_copy) {
   criu::RadixPageStore store;
-  auto t0 = Clock::now();
+  const std::uint64_t t0 = util::wall_now_ns();
 
   criu::HarvestResult hr = w.harvest(epoch);
   if (deep_copy) {
@@ -127,7 +125,7 @@ double run_pipeline_ns_per_page(World& w, std::uint64_t epoch,
     }
   }
 
-  auto t1 = Clock::now();
+  const std::uint64_t t1 = util::wall_now_ns();
   NLC_CHECK(store.page_count() == hr.image.pages.size());
   return ns_between(t0, t1) /
          static_cast<double>(hr.image.pages.size() > 0
@@ -172,12 +170,12 @@ ShardResult run_shard_config(std::uint64_t npages, int nshards, int reps) {
     for (std::uint64_t p = 0; p < npages; p += 5) {
       w.proc->mm().write(w.vma.start + p, 512, val);
     }
-    auto t0 = Clock::now();
+    const std::uint64_t t0 = util::wall_now_ns();
     criu::HarvestResult hr = w.harvest(epoch, nshards, pool.get());
     criu::EpochDeltaStats ds = codec.encode_epoch(hr.image, pool.get());
     store.begin_checkpoint(epoch);
     std::uint64_t visits = store.store_batch(hr.image.pages, pool.get());
-    auto t1 = Clock::now();
+    const std::uint64_t t1 = util::wall_now_ns();
     ++epoch;
     res.ns_per_page = std::min(
         res.ns_per_page, ns_between(t0, t1) / static_cast<double>(npages));
@@ -244,9 +242,9 @@ int main(int argc, char** argv) {
     w.proc->mm().write(w.vma.start + p, 512, val);
   }
   criu::HarvestResult delta_hr = w.harvest(epoch++);
-  auto d0 = Clock::now();
+  const std::uint64_t d0 = util::wall_now_ns();
   criu::EpochDeltaStats ds = codec.encode_epoch(delta_hr.image);
-  auto d1 = Clock::now();
+  const std::uint64_t d1 = util::wall_now_ns();
   double delta_ns =
       ns_between(d0, d1) /
       static_cast<double>(ds.content_pages > 0 ? ds.content_pages : 1);

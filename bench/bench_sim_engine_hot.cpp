@@ -14,18 +14,17 @@
 // Modes: default ~2M events per variant; --smoke 200K (CI, with a
 // regression gate: the fast path must beat the generic path); --full /
 // NLC_BENCH_FULL=1 ~20M.
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "bench/common.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
+#include "util/time.hpp"
 
 namespace {
 
 using namespace nlc;
-using Clock = std::chrono::steady_clock;
 
 sim::task<> sleeper(sim::Simulation& sim, long long wakeups) {
   for (long long i = 0; i < wakeups; ++i) {
@@ -62,12 +61,11 @@ Score run_sleep(bool fast_path, int tasks, long long wakeups) {
   sim::Simulation sim;
   sim.set_resume_fast_path(fast_path);
   for (int t = 0; t < tasks; ++t) sim.spawn(sleeper(sim, wakeups));
-  auto t0 = Clock::now();
+  const std::uint64_t t0 = util::wall_now_ns();
   sim.run();
-  auto t1 = Clock::now();
   Score s;
   s.events = sim.events_processed();
-  double secs = std::chrono::duration<double>(t1 - t0).count();
+  double secs = util::wall_seconds_since(t0);
   s.events_per_sec = secs > 0 ? static_cast<double>(s.events) / secs : 0;
   return s;
 }
@@ -83,12 +81,11 @@ Score run_pingpong(bool fast_path, int pairs, long long bounces) {
     sim.spawn(ping(sim, *boxes[p * 2], *boxes[p * 2 + 1], bounces));
     sim.spawn(pong(*boxes[p * 2], *boxes[p * 2 + 1], bounces));
   }
-  auto t0 = Clock::now();
+  const std::uint64_t t0 = util::wall_now_ns();
   sim.run();
-  auto t1 = Clock::now();
   Score s;
   s.events = sim.events_processed();
-  double secs = std::chrono::duration<double>(t1 - t0).count();
+  double secs = util::wall_seconds_since(t0);
   s.events_per_sec = secs > 0 ? static_cast<double>(s.events) / secs : 0;
   return s;
 }
@@ -111,12 +108,11 @@ Score run_timers(int chains, long long links) {
     Chain* ch = cs.back().get();
     sim.call_after(nlc::microseconds(1), [ch] { ch->fire(); });
   }
-  auto t0 = Clock::now();
+  const std::uint64_t t0 = util::wall_now_ns();
   sim.run();
-  auto t1 = Clock::now();
   Score s;
   s.events = sim.events_processed();
-  double secs = std::chrono::duration<double>(t1 - t0).count();
+  double secs = util::wall_seconds_since(t0);
   s.events_per_sec = secs > 0 ? static_cast<double>(s.events) / secs : 0;
   return s;
 }

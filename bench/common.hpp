@@ -149,26 +149,18 @@ class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
-  /// One data point from a Samples accumulator (mean/p50/p99/count).
+  /// One data point from a Samples accumulator; the summary fields
+  /// (mean/p50/p99/p999/count) come from Samples::summary_json so every
+  /// bench emits identical statistics.
   void point(const std::string& label, const Samples& s) {
-    Point p;
-    p.label = label;
-    p.count = s.count();
-    if (!s.empty()) {
-      p.mean = s.mean();
-      p.p50 = s.percentile(50);
-      p.p99 = s.percentile(99);
-    }
-    points_.push_back(std::move(p));
+    points_.push_back({label, s.summary_json()});
   }
 
   /// One scalar data point (a single measured value).
   void point(const std::string& label, double value) {
-    Point p;
-    p.label = label;
-    p.mean = p.p50 = p.p99 = value;
-    p.count = 1;
-    points_.push_back(std::move(p));
+    Samples s;
+    s.add(value);
+    point(label, s);
   }
 
   /// Extra top-level scalar (speedups, ratios, ...).
@@ -204,10 +196,8 @@ class BenchJson {
     std::fprintf(f, "  \"points\": [\n");
     for (std::size_t i = 0; i < points_.size(); ++i) {
       const Point& p = points_[i];
-      std::fprintf(f,
-                   "    {\"label\": \"%s\", \"mean\": %.6g, \"p50\": %.6g, "
-                   "\"p99\": %.6g, \"count\": %zu}%s\n",
-                   escaped(p.label).c_str(), p.mean, p.p50, p.p99, p.count,
+      std::fprintf(f, "    {\"label\": \"%s\", %s}%s\n",
+                   escaped(p.label).c_str(), p.summary.c_str(),
                    i + 1 < points_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -219,8 +209,7 @@ class BenchJson {
  private:
   struct Point {
     std::string label;
-    double mean = 0, p50 = 0, p99 = 0;
-    std::size_t count = 0;
+    std::string summary;  // Samples::summary_json() fragment
   };
 
   static std::string escaped(const std::string& s) {

@@ -21,6 +21,7 @@
 #include "net/channel.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
+#include "trace/recorder.hpp"
 
 namespace nlc::blk {
 
@@ -102,6 +103,15 @@ class DrbdBackup {
         any_barrier_ = true;
         epochs_.push_back(EpochWrites{last_barrier_, std::move(pending_)});
         pending_.clear();
+        if (trace_ != nullptr) {
+          trace_->instant(trace::Track::kDrbd, trace::Stage::kDrbdBuffer,
+                          sim_->now(), epochs_.back().writes.size());
+          trace_->instant(trace::Track::kDrbd, trace::Stage::kDrbdBarrier,
+                          sim_->now(), last_barrier_);
+          trace_->counter(trace::Track::kDrbd,
+                          trace::Stage::kDrbdBufferedWrites, sim_->now(),
+                          buffered_writes());
+        }
         barrier_arrived_.set();
       }
     }
@@ -132,7 +142,16 @@ class DrbdBackup {
         observer_->on_drbd_epoch_applied(epochs_.front().epoch,
                                          epochs_.front().writes.size());
       }
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kDrbd, trace::Stage::kDrbdCommit,
+                        sim_->now(), committed_epoch_);
+      }
       epochs_.pop_front();
+    }
+    if (trace_ != nullptr) {
+      trace_->counter(trace::Track::kDrbd,
+                      trace::Stage::kDrbdBufferedWrites, sim_->now(),
+                      buffered_writes());
     }
   }
 
@@ -143,10 +162,19 @@ class DrbdBackup {
     epochs_.clear();
     pending_.clear();
     if (observer_ != nullptr) observer_->on_drbd_discard(dropped);
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kDrbd, trace::Stage::kDrbdDiscard,
+                      sim_->now(), dropped);
+      trace_->counter(trace::Track::kDrbd,
+                      trace::Stage::kDrbdBufferedWrites, sim_->now(), 0);
+    }
   }
 
   /// Installs (or clears, with nullptr) the audit observer.
   void set_observer(DrbdObserver* o) { observer_ = o; }
+
+  /// Attaches (or clears) the flight recorder (observer only).
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
   Disk& local_disk() { return *local_; }
   std::uint64_t committed_epoch() const { return committed_epoch_; }
@@ -168,6 +196,7 @@ class DrbdBackup {
   Disk* local_;
   net::Channel<DrbdMessage>* channel_;
   DrbdObserver* observer_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
   sim::Event barrier_arrived_;
   std::vector<DiskWrite> pending_;
   std::deque<EpochWrites> epochs_;

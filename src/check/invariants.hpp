@@ -40,11 +40,15 @@ struct AuditStats {
   std::uint64_t delta_replay_checks = 0;
   std::uint64_t restore_equivalence_checks = 0;
   std::uint64_t sweeps = 0;
+  /// Post-hoc orderings re-verified from the flight-recorder stream
+  /// (trace_oracle.hpp); non-zero only when both auditing and tracing ran.
+  std::uint64_t trace_order_checks = 0;
 
   std::uint64_t total() const {
     return output_commit_checks + epoch_commit_checks +
            payload_verifications + store_equivalence_checks +
-           delta_replay_checks + restore_equivalence_checks;
+           delta_replay_checks + restore_equivalence_checks +
+           trace_order_checks;
   }
 };
 

@@ -1,0 +1,47 @@
+#include "check/trace_oracle.hpp"
+
+#include "util/assert.hpp"
+
+namespace nlc::check {
+
+TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
+  TraceOrderStats stats;
+  // High-water marks mirror the live checkers' epoch-0 discipline: the
+  // boolean, not the counter, distinguishes "epoch 0 done" from "nothing
+  // yet" (epochs are 0-based).
+  std::uint64_t acked = 0;
+  bool any_ack = false;
+  std::uint64_t barrier = 0;
+  bool any_barrier = false;
+
+  for (const trace::Event& e : events) {
+    if (e.track == trace::Track::kPrimary &&
+        e.type == trace::EventType::kInstant &&
+        e.stage == trace::Stage::kAckRecv) {
+      if (!any_ack || e.arg > acked) acked = e.arg;
+      any_ack = true;
+    } else if (e.track == trace::Track::kDrbd &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kDrbdBarrier) {
+      if (!any_barrier || e.arg > barrier) barrier = e.arg;
+      any_barrier = true;
+    } else if (e.track == trace::Track::kPrimary &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kRelease) {
+      NLC_CHECK_MSG(any_ack && acked >= e.arg,
+                    "trace oracle: epoch output released before its ack "
+                    "reached the primary");
+      ++stats.release_checks;
+    } else if (e.track == trace::Track::kBackup &&
+               e.type == trace::EventType::kSpanBegin &&
+               e.stage == trace::Stage::kCommit) {
+      NLC_CHECK_MSG(any_barrier && barrier >= e.arg,
+                    "trace oracle: epoch commit began before its DRBD "
+                    "barrier arrived at the backup");
+      ++stats.commit_checks;
+    }
+  }
+  return stats;
+}
+
+}  // namespace nlc::check

@@ -1,0 +1,38 @@
+// Trace-stream ordering oracle (DESIGN.md §11).
+//
+// The live checkers in invariants.hpp audit the protocol as it runs, from
+// observer hooks. This oracle re-derives the same two commit orderings
+// *post hoc* from a drained flight-recorder stream:
+//
+//   * output commit — an epoch's buffered output may be released only
+//     after the primary saw that epoch's ack (release-before-ack is the
+//     §IV violation NiLiCon exists to prevent);
+//   * epoch commit — the backup may begin committing an epoch only after
+//     that epoch's DRBD barrier arrived (commit-before-barrier would let a
+//     failover restore memory state ahead of the disk).
+//
+// Event order comes from Recorder seq numbers, which are consistent with
+// each recording thread's program order — so a trace emitted by a correct
+// run always passes, and a reordered (or hand-forged, in the negative
+// tests) stream raises the same InvariantError the live mirrors would.
+#pragma once
+
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace nlc::check {
+
+struct TraceOrderStats {
+  std::uint64_t release_checks = 0;  // release-after-ack orderings verified
+  std::uint64_t commit_checks = 0;   // commit-after-barrier orderings verified
+
+  std::uint64_t total() const { return release_checks + commit_checks; }
+};
+
+/// Replays `events` (as drained from a trace::Recorder: sorted by seq) and
+/// throws nlc::InvariantError on a release-before-ack or
+/// commit-before-barrier ordering. Returns the per-ordering check counts.
+TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events);
+
+}  // namespace nlc::check

@@ -1,6 +1,5 @@
 #include "core/backup_agent.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -51,6 +50,10 @@ sim::task<> BackupAgent::state_loop() {
   sim::Simulation& sim = kernel_->simulation();
   while (true) {
     EpochStateMsg msg = co_await state_in_->recv();
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kRecv,
+                         sim.now(), msg.epoch);
+    }
 
     // Receive-side processing: read() per chunk into the staging buffers.
     Time recv_cost = backup_costs_.recv_base +
@@ -58,21 +61,41 @@ sim::task<> BackupAgent::state_loop() {
                          backup_costs_.read_per_chunk;
     co_await sim.sleep_for(recv_cost);
     metrics_->backup_busy += recv_cost;
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kRecv,
+                       sim.now(), msg.epoch);
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kBarrierWait,
+                         sim.now(), msg.epoch);
+    }
 
     // The epoch is durable at the backup once all its disk writes (up to
     // the barrier) and its container state are buffered here: acknowledge,
     // letting the primary release the epoch's buffered output (§IV).
     co_await drbd_->wait_barrier(msg.epoch);
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kBarrierWait,
+                       sim.now(), msg.epoch);
+    }
     if (audit_ != nullptr) audit_->on_ack_sent(msg.epoch, drbd_->last_barrier());
     ack_out_->send(AckMsg{msg.epoch}, 64);
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kBackup, trace::Stage::kAckSent,
+                      sim.now(), msg.epoch);
+    }
 
     // Commit: fold the epoch into the committed stores.
     commit_in_progress_ = true;
     if (audit_ != nullptr) audit_->on_commit_begin(msg.epoch);
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kCommit,
+                         sim.now(), msg.epoch);
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kFold,
+                         sim.now(), msg.epoch);
+    }
     commit_idle_->reset();
     pages_->begin_checkpoint(msg.epoch);
     std::uint64_t visits = 0;
-    auto fold_t0 = std::chrono::steady_clock::now();
+    const std::uint64_t fold_t0 = util::wall_now_ns();
     if (radix_ != nullptr && radix_->shards() > 1) {
       // Sharded fold (DESIGN.md §10): same state and modeled visit total
       // as the per-record loop, fanned out over the shard subtrees.
@@ -82,10 +105,13 @@ sim::task<> BackupAgent::state_loop() {
         visits += pages_->store(pr);
       }
     }
-    metrics_->shard_stage_ns.fold += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - fold_t0)
-            .count());
+    metrics_->shard_stage_ns.fold += util::wall_now_ns() - fold_t0;
+    if (trace_ != nullptr) {
+      // Zero-width in simulated time (the modeled cost is the commit sleep
+      // below); the wall stamps expose the real fold cost.
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kFold,
+                       sim.now(), msg.epoch);
+    }
     Time commit_cost =
         static_cast<Time>(visits) * backup_costs_.pagestore_per_visit +
         static_cast<Time>(msg.image.pages.size()) *
@@ -113,6 +139,10 @@ sim::task<> BackupAgent::state_loop() {
     committed_epoch_ = msg.epoch;
     commit_in_progress_ = false;
     commit_idle_->set();
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kCommit,
+                       sim.now(), msg.epoch);
+    }
   }
 }
 
@@ -126,6 +156,11 @@ sim::task<> BackupAgent::watchdog() {
     // A 30ms interval with no new heartbeat counts as a miss (§IV).
     if (heartbeats_seen_ == seen_at_last_tick) {
       ++misses;
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kDetector,
+                        trace::Stage::kHeartbeatMiss, sim.now(),
+                        static_cast<std::uint64_t>(misses));
+      }
     } else {
       misses = 0;
     }
@@ -134,6 +169,11 @@ sim::task<> BackupAgent::watchdog() {
       armed_ = false;
       recovery_.detection_started = sim.now();
       recovery_.detection_latency = sim.now() - last_heartbeat_;
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kDetector,
+                        trace::Stage::kRecoveryStart, sim.now(),
+                        committed_epoch_);
+      }
       co_await recover();
       co_return;
     }
@@ -146,6 +186,10 @@ void BackupAgent::trigger_recovery() {
   sim::Simulation& sim = kernel_->simulation();
   recovery_.detection_started = sim.now();
   recovery_.detection_latency = 0;
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kDetector, trace::Stage::kRecoveryStart,
+                    sim.now(), committed_epoch_);
+  }
   sim.spawn(kernel_->domain(), recover());
 }
 
@@ -171,6 +215,13 @@ sim::task<> BackupAgent::recover() {
   // commit (its state fully arrived and was acknowledged, so it belongs in
   // the restored image).
   co_await commit_idle_->wait();
+  // The restore span opens after the in-flight commit drains so the two
+  // spans nest cleanly on the backup track; the detection point itself is
+  // the kRecoveryStart instant on the detector track.
+  if (trace_ != nullptr) {
+    trace_->span_begin(trace::Track::kBackup, trace::Stage::kRestore,
+                       sim.now(), committed_epoch_);
+  }
 
   // Uncommitted buffered state dies with the primary (§IV).
   drbd_->discard_uncommitted();
@@ -191,12 +242,20 @@ sim::task<> BackupAgent::recover() {
                                         : net::IngressFilter::Mode::kPass);
 
   // Materialize CRIU image files from the buffered state.
+  if (trace_ != nullptr) {
+    trace_->span_begin(trace::Track::kBackup, trace::Stage::kMaterialize,
+                       sim.now(), committed_epoch_);
+  }
   double mb = static_cast<double>(img.byte_size() +
                                   pages_->page_count() * nlc::kPageSize) /
               static_cast<double>(nlc::kMiB);
   co_await sim.sleep_for(costs.image_build_base +
                          static_cast<Time>(mb * static_cast<double>(
                                                     costs.image_build_per_mb)));
+  if (trace_ != nullptr) {
+    trace_->span_end(trace::Track::kBackup, trace::Stage::kMaterialize,
+                     sim.now(), committed_epoch_);
+  }
 
   kern::DncHarvest fs;
   for (const auto& [ino, attr] : committed_fs_inodes_) {
@@ -215,6 +274,10 @@ sim::task<> BackupAgent::recover() {
 
   // Reconnect to the bridge: gratuitous ARP moves the service address.
   co_await sim.sleep_for(costs.gratuitous_arp);
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kNetBackup, trace::Stage::kGratuitousArp,
+                    sim.now(), committed_epoch_);
+  }
   tcp_->takeover_address(service_ip);
   tcp_->ingress(service_ip).set_mode(net::IngressFilter::Mode::kPass);
 
@@ -228,6 +291,10 @@ sim::task<> BackupAgent::recover() {
   recovery_.committed_epoch = committed_epoch_;
   recovered_ = true;
   if (audit_ != nullptr) audit_->on_recovered(committed_epoch_);
+  if (trace_ != nullptr) {
+    trace_->span_end(trace::Track::kBackup, trace::Stage::kRestore,
+                     sim.now(), committed_epoch_);
+  }
 
   if (on_restored_) {
     on_restored_(FailoverContext{kernel_, tcp_, img.container,

@@ -23,6 +23,7 @@
 #include "kernel/kernel.hpp"
 #include "net/tcp.hpp"
 #include "sim/sync.hpp"
+#include "trace/recorder.hpp"
 
 namespace nlc::core {
 
@@ -61,6 +62,10 @@ class BackupAgent {
   /// Installs (or clears, with nullptr) the invariant auditor's hooks.
   void set_audit_hooks(BackupAuditHooks* hooks) { audit_ = hooks; }
 
+  /// Attaches (or clears) the flight recorder. Observer only, like the
+  /// audit hooks: recording changes no simulated observable.
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
+
   std::uint64_t committed_epoch() const { return committed_epoch_; }
   bool recovered() const { return recovered_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
@@ -81,6 +86,7 @@ class BackupAgent {
   HeartbeatChannel* hb_in_;
   ReplicationMetrics* metrics_;
   BackupAuditHooks* audit_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
   std::function<void(const FailoverContext&)> on_restored_;
 
   std::unique_ptr<criu::PageStore> pages_;

@@ -74,12 +74,24 @@ sim::task<> Cluster::protect(kern::ContainerId cid, const Options& opts) {
   backup_agent = std::make_unique<BackupAgent>(
       opts, *backup_kernel, backup_tcp, *drbd_backup, *state_channel,
       *ack_channel, *heartbeat_channel, metrics);
+  if (opts.trace_level != TraceLevel::kOff) {
+    if (tracer == nullptr) tracer = std::make_shared<trace::Recorder>();
+    primary_agent->set_trace(tracer.get());
+    backup_agent->set_trace(tracer.get());
+    primary_tcp.set_trace(tracer.get(), trace::Track::kNetPrimary);
+    backup_tcp.set_trace(tracer.get(), trace::Track::kNetBackup);
+    drbd_backup->set_trace(tracer.get());
+  }
   if (on_agents_created) on_agents_created();
   backup_agent->start();
   co_await primary_agent->start();
 }
 
 void Cluster::unplug_primary() {
+  if (tracer != nullptr) {
+    tracer->instant(trace::Track::kNetPrimary, trace::Stage::kUnplug,
+                    sim.now());
+  }
   // Both directions of every primary link, plus the management NIC.
   for (net::HostId peer : {client_host, backup_host}) {
     if (net::Link* l = network.link_between(primary_host, peer)) {

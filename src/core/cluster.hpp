@@ -23,6 +23,7 @@
 #include "net/network.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulation.hpp"
+#include "trace/recorder.hpp"
 
 namespace nlc::core {
 
@@ -86,6 +87,12 @@ class Cluster {
   std::unique_ptr<PrimaryAgent> primary_agent;
   std::unique_ptr<BackupAgent> backup_agent;
 
+  /// Flight recorder (src/trace), created by protect() when
+  /// Options::trace_level != kOff and wired into both agents, both server
+  /// TCP stacks and the DRBD backup. Shared so the harness can hand the
+  /// trace to exporters after the Cluster is gone.
+  std::shared_ptr<trace::Recorder> tracer;
+
   /// Invoked by protect() right after the agent pair is constructed and
   /// before either agent runs: the harness uses this to attach the
   /// invariant auditor (src/check) while every observed component exists
@@ -104,7 +111,13 @@ class Cluster {
   sim::task<> protect(kern::ContainerId cid, const Options& opts);
 
   /// Fail-stop crash of the primary host (§VII-A fault injection).
-  void fail_primary() { primary_domain->kill(); }
+  void fail_primary() {
+    if (tracer != nullptr) {
+      tracer->instant(trace::Track::kNetPrimary, trace::Stage::kUnplug,
+                      sim.now());
+    }
+    primary_domain->kill();
+  }
 
   /// The paper's manual test: unplug every network cable of the primary
   /// (§VII-A). The primary stays alive but can neither replicate nor talk

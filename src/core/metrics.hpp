@@ -8,7 +8,7 @@
 
 namespace nlc::core {
 
-/// Wall-clock (steady_clock) nanoseconds spent in each stage of the
+/// Wall-clock (util::wall_now_ns) nanoseconds spent in each stage of the
 /// sharded intra-epoch page pipeline (DESIGN.md §10). Observability only:
 /// these never feed back into simulated time or the cost model, so the
 /// simulation's numbers stay identical across shard counts.

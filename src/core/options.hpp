@@ -20,6 +20,14 @@ namespace nlc::core {
 ///                  shadow-replays the delta codec per shipped epoch.
 enum class AuditLevel : std::uint8_t { kOff, kCommitPoints, kContinuous };
 
+/// Flight-recorder tracing level (src/trace).
+///  kOff  — no recorder attached; every instrumentation site is a single
+///          null-pointer test (bench_trace_overhead gates this at <= 1%).
+///  kFull — record every epoch- and failover-pipeline event into the
+///          per-thread rings. Tracing is an observer only: all simulated
+///          observables stay byte-identical with tracing on or off.
+enum class TraceLevel : std::uint8_t { kOff, kFull };
+
 struct Options {
   /// Execution-phase length per epoch (paper: 30 ms).
   Time epoch_length = nlc::milliseconds(30);
@@ -65,6 +73,11 @@ struct Options {
   /// Runtime invariant auditing (src/check). The harness attaches an
   /// InvariantAuditor to the agent pair when this is not kOff.
   AuditLevel audit_level = AuditLevel::kOff;
+
+  /// Flight-recorder tracing (src/trace, DESIGN.md §11). The Cluster creates
+  /// a trace::Recorder and wires it into both agents, both TCP stacks and
+  /// the DRBD backup when this is not kOff.
+  TraceLevel trace_level = TraceLevel::kOff;
 
   /// DESIGN.md §10: intra-epoch page-pipeline shard count. 0 = auto
   /// (NLC_SHARDS env, else hardware concurrency); 1 = the serial reference

@@ -1,21 +1,11 @@
 #include "core/primary_agent.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "util/assert.hpp"
 #include "util/worker_pool.hpp"
 
 namespace nlc::core {
-
-namespace {
-std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-}
-}  // namespace
 
 PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
                            net::TcpStack& tcp, kern::ContainerId cid,
@@ -67,6 +57,10 @@ sim::task<> PrimaryAgent::start() {
   // Output commit from the very beginning: no packet escapes without a
   // committed checkpoint behind it.
   plug().engage();
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kNetPrimary, trace::Stage::kPlugEngage,
+                    sim.now());
+  }
 
   // Heartbeats start before the initial synchronization: the initial full
   // state copy takes far longer than the detector's 90 ms budget, and the
@@ -129,11 +123,20 @@ Time PrimaryAgent::send_side_cost(const EpochStateMsg& msg, bool staged) const {
 
 sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged) {
   sim::Simulation& sim = kernel_->simulation();
+  const std::uint64_t epoch = msg.epoch;
   Time cost = send_side_cost(msg, staged);
   metrics_->primary_agent_busy += cost;
+  if (trace_ != nullptr) {
+    trace_->span_begin(trace::Track::kPrimaryShip, trace::Stage::kShip,
+                       sim.now(), epoch);
+  }
   co_await sim.sleep_for(cost);
   std::uint64_t bytes = msg.wire_bytes;
   state_out_->send(std::move(msg), bytes);
+  if (trace_ != nullptr) {
+    trace_->span_end(trace::Track::kPrimaryShip, trace::Stage::kShip,
+                     sim.now(), epoch);
+  }
 }
 
 sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
@@ -142,6 +145,10 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   std::uint64_t epoch = epoch_;
   EpochRec& rec = emplace_rec(epoch);
   rec.stop_begin = sim.now();
+  if (trace_ != nullptr) {
+    trace_->span_begin(trace::Track::kPrimary, trace::Stage::kPause,
+                       sim.now(), epoch);
+  }
 
   // ---- Stop the container (freezer, §II-B / §V-A) -------------------------
   kernel_->freeze_container(cid_);
@@ -157,6 +164,10 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
 
   // ---- Block network input (§III / §V-C) -----------------------------------
   auto& ingress = tcp_->ingress(service_ip());
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kNetPrimary, trace::Stage::kIngressBlock,
+                    sim.now(), epoch);
+  }
   if (opts_.plug_input_blocking) {
     ingress.set_mode(net::IngressFilter::Mode::kBuffer);
     co_await sim.sleep_for(costs.plug_block_cost);
@@ -167,6 +178,10 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
 
   // ---- Mark the end of this epoch's disk writes ----------------------------
   drbd_->send_barrier(epoch);
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kPrimary, trace::Stage::kBarrierSent,
+                    sim.now(), epoch);
+  }
 
   // ---- Harvest the container state (CRIU engine) ---------------------------
   // Sharded page pipeline (DESIGN.md §10): harvest fill, delta encode and
@@ -183,13 +198,21 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   ho.pool = ppool;
   const criu::InfrequentState* cached =
       opts_.cache_infrequent_state ? cache_.get() : nullptr;
-  auto harvest_t0 = std::chrono::steady_clock::now();
+  if (trace_ != nullptr) {
+    trace_->span_begin(trace::Track::kPrimary, trace::Stage::kHarvest,
+                       sim.now(), epoch);
+  }
+  const std::uint64_t harvest_t0 = util::wall_now_ns();
   criu::HarvestResult hr = ckpt_.harvest(cid_, epoch, cached, ho);
-  metrics_->shard_stage_ns.harvest += ns_since(harvest_t0);
+  metrics_->shard_stage_ns.harvest += util::wall_now_ns() - harvest_t0;
   if (opts_.cache_infrequent_state) cache_.update(hr.image.infrequent);
   co_await sim.sleep_for(hr.cost.total());
   metrics_->primary_agent_busy += hr.cost.total();
   metrics_->payload_copies_avoided += hr.content_pages;
+  if (trace_ != nullptr) {
+    trace_->span_end(trace::Track::kPrimary, trace::Stage::kHarvest,
+                     sim.now(), epoch);
+  }
 
   EpochStateMsg msg;
   msg.epoch = epoch;
@@ -197,9 +220,17 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     // Stamp per-page compressed wire sizes (real XOR/run-length encode
     // against the last shipped versions); the modeled CPU cost rides the
     // shipping path below.
-    auto encode_t0 = std::chrono::steady_clock::now();
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kPrimary, trace::Stage::kEncode,
+                         sim.now(), epoch);
+    }
+    const std::uint64_t encode_t0 = util::wall_now_ns();
     criu::EpochDeltaStats ds = delta_.encode_epoch(hr.image, ppool);
-    metrics_->shard_stage_ns.encode += ns_since(encode_t0);
+    metrics_->shard_stage_ns.encode += util::wall_now_ns() - encode_t0;
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kPrimary, trace::Stage::kEncode,
+                       sim.now(), epoch);
+    }
     msg.compressed_pages = ds.content_pages;
     if (!initial && ds.content_pages > 0) {
       metrics_->compression_ratio.add(ds.ratio());
@@ -211,6 +242,12 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   std::uint64_t bytes = msg.wire_bytes;
   msg.image = std::move(hr.image);
   if (audit_ != nullptr) audit_->on_state_ready(msg, initial);
+  if (trace_ != nullptr) {
+    trace_->counter(trace::Track::kPrimary, trace::Stage::kDirtyPages,
+                    sim.now(), dirty);
+    trace_->counter(trace::Track::kPrimary, trace::Stage::kWireBytes,
+                    sim.now(), bytes);
+  }
 
   // ---- Ship (synchronously if no staging buffer, §V-D(2)) ------------------
   bool sync_ship = initial || !opts_.staging_buffer;
@@ -226,10 +263,20 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     ingress.set_mode(net::IngressFilter::Mode::kPass);
     co_await sim.sleep_for(costs.firewall_unblock_cost);
   }
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kNetPrimary,
+                    trace::Stage::kIngressUnblock, sim.now(), epoch);
+  }
   rec.marker = plug().insert_marker();
   rec.marker_inserted = true;
   if (audit_ != nullptr) audit_->on_marker_inserted(epoch, rec.marker);
   kernel_->thaw_container(cid_);
+  if (trace_ != nullptr) {
+    trace_->span_end(trace::Track::kPrimary, trace::Stage::kPause,
+                     sim.now(), epoch);
+    trace_->instant(trace::Track::kPrimary, trace::Stage::kResume,
+                    sim.now(), epoch);
+  }
 
   Time stop = sim.now() - rec.stop_begin;
   // The initial full synchronization is a one-off warm-up, not an epoch of
@@ -245,10 +292,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   if (sync_ship) {
     // The ack arrived while the container was still paused: the epoch is
     // committed, release its buffered output now.
-    if (audit_ != nullptr) audit_->on_release(epoch);
-    plug().release_to_marker(rec.marker);
-    metrics_->commit_latency_ms.add(to_millis(sim.now() - rec.stop_begin));
-    erase_rec(epoch);
+    release_epoch(rec);
   } else {
     // Staged: ship concurrently with the next execute phase; the ack_loop
     // releases the marker when the backup confirms.
@@ -268,16 +312,32 @@ sim::task<> PrimaryAgent::ack_loop() {
     acked_epoch_ = ack.epoch;
     any_acked_ = true;
     if (audit_ != nullptr) audit_->on_ack_received(ack.epoch);
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kPrimary, trace::Stage::kAckRecv,
+                      kernel_->simulation().now(), ack.epoch);
+    }
     ack_event_->set();
     EpochRec* rec = find_rec(ack.epoch);
-    if (rec != nullptr && rec->marker_inserted) {
-      if (audit_ != nullptr) audit_->on_release(ack.epoch);
-      plug().release_to_marker(rec->marker);
-      metrics_->commit_latency_ms.add(
-          to_millis(kernel_->simulation().now() - rec->stop_begin));
-      erase_rec(ack.epoch);
-    }
+    if (rec != nullptr && rec->marker_inserted) release_epoch(*rec);
   }
+}
+
+void PrimaryAgent::release_epoch(EpochRec& rec) {
+  if (audit_ != nullptr) audit_->on_release(rec.epoch);
+  if (trace_ != nullptr) {
+    const Time now = kernel_->simulation().now();
+    trace_->instant(trace::Track::kPrimary, trace::Stage::kRelease, now,
+                    rec.epoch);
+    const std::uint64_t released_before = plug().released_total();
+    plug().release_to_marker(rec.marker);
+    trace_->instant(trace::Track::kNetPrimary, trace::Stage::kPlugRelease,
+                    now, plug().released_total() - released_before);
+  } else {
+    plug().release_to_marker(rec.marker);
+  }
+  metrics_->commit_latency_ms.add(
+      to_millis(kernel_->simulation().now() - rec.stop_begin));
+  erase_rec(rec.epoch);
 }
 
 sim::task<> PrimaryAgent::heartbeat_loop() {

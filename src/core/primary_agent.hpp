@@ -24,6 +24,7 @@
 #include "kernel/kernel.hpp"
 #include "net/tcp.hpp"
 #include "sim/sync.hpp"
+#include "trace/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace nlc::core {
@@ -46,6 +47,10 @@ class PrimaryAgent {
 
   /// Installs (or clears, with nullptr) the invariant auditor's hooks.
   void set_audit_hooks(PrimaryAuditHooks* hooks) { audit_ = hooks; }
+
+  /// Attaches (or clears) the flight recorder. Observer only, like the
+  /// audit hooks: recording changes no simulated observable.
+  void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
   std::uint64_t current_epoch() const { return epoch_; }
   std::uint64_t acked_epoch() const { return acked_epoch_; }
@@ -74,6 +79,7 @@ class PrimaryAgent {
   HeartbeatChannel* hb_out_;
   ReplicationMetrics* metrics_;
   PrimaryAuditHooks* audit_ = nullptr;
+  trace::Recorder* trace_ = nullptr;
 
   criu::CheckpointEngine ckpt_;
   InfrequentStateCache cache_;
@@ -105,6 +111,10 @@ class PrimaryAgent {
   EpochRec& emplace_rec(std::uint64_t epoch);
   EpochRec* find_rec(std::uint64_t epoch);
   void erase_rec(std::uint64_t epoch);
+  /// Commit point: audit + trace the release, open the plug to the marker,
+  /// record commit latency, retire the record. Shared by the synchronous
+  /// ship path and the ack_loop.
+  void release_epoch(EpochRec& rec);
   std::array<EpochRec, kEpochWindow> epoch_recs_;
 };
 

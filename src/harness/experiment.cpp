@@ -8,6 +8,7 @@
 #include "apps/kv.hpp"
 #include "apps/server_app.hpp"
 #include "check/audit.hpp"
+#include "check/trace_oracle.hpp"
 #include "clients/closed_loop.hpp"
 #include "core/cluster.hpp"
 #include "harness/parallel.hpp"
@@ -253,10 +254,17 @@ RunResult run_experiment(const RunConfig& cfg) {
   cl.sim.spawn(orchestrator());
   cl.sim.run();
 
+  res.trace = cl.tracer;
   if (auditor) {
     auditor->final_audit();
     res.audited = true;
     res.audit = auditor->stats();
+    if (res.trace != nullptr) {
+      // Re-verify the two commit orderings post hoc from the recorded
+      // stream — the trace must tell the same story the live mirrors saw.
+      res.audit.trace_order_checks =
+          check::audit_trace_ordering(res.trace->drain()).total();
+    }
   }
 
   // ---- Collect ------------------------------------------------------------

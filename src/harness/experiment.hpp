@@ -7,6 +7,7 @@
 // of the measurement window (§VII-A), with KV/content validation.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,7 @@
 #include "check/invariants.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
+#include "trace/recorder.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -91,6 +93,11 @@ struct RunResult {
   /// run_experiment.
   bool audited = false;
   check::AuditStats audit;
+
+  /// Flight recorder (cfg.nilicon.trace_level != kOff): the cluster's
+  /// tracer, kept alive past the Cluster so the caller can export the
+  /// stream (trace/export.hpp) or run the critical-path analyzer.
+  std::shared_ptr<trace::Recorder> trace;
 
   /// Events processed by this trial's simulation loop — the TrialRunner
   /// aggregates these into events/sec, and the determinism tests compare

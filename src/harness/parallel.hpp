@@ -25,7 +25,6 @@
 // thread, no worker threads are created at all).
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -36,6 +35,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/time.hpp"
 #include "util/worker_pool.hpp"
 
 namespace nlc::harness {
@@ -91,20 +91,18 @@ class TrialRunner {
     std::vector<std::optional<R>> slots(n);
     std::vector<std::exception_ptr> errors(n);
     stats_.assign(n, TrialStats{});
-    auto batch_start = std::chrono::steady_clock::now();
+    const std::uint64_t batch_start = util::wall_now_ns();
 
     auto one = [&](std::size_t i) {
       TrialContext ctx;
       ctx.index = i;
-      auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t t0 = util::wall_now_ns();
       try {
         slots[i].emplace(detail::invoke_trial(fn, ctx));
       } catch (...) {
         errors[i] = std::current_exception();
       }
-      auto t1 = std::chrono::steady_clock::now();
-      stats_[i].wall_seconds =
-          std::chrono::duration<double>(t1 - t0).count();
+      stats_[i].wall_seconds = util::wall_seconds_since(t0);
       stats_[i].sim_events = ctx.sim_events;
     };
 
@@ -119,9 +117,7 @@ class TrialRunner {
       pool_->run(n, one);
     }
 
-    auto batch_end = std::chrono::steady_clock::now();
-    batch_wall_seconds_ =
-        std::chrono::duration<double>(batch_end - batch_start).count();
+    batch_wall_seconds_ = util::wall_seconds_since(batch_start);
 
     for (std::size_t i = 0; i < n; ++i) {
       if (errors[i]) std::rethrow_exception(errors[i]);

@@ -251,6 +251,10 @@ SocketId TcpStack::repair_restore(const TcpRepairState& st, bool rto_fixed) {
   by_tuple_[{s.local, s.remote}] = s.id;
   if (!s.write_queue.empty()) arm_retransmit(s);
   if (!s.read_queue.empty()) s.rx_event->set();
+  if (trace_ != nullptr) {
+    trace_->instant(trace_track_, trace::Stage::kSocketRepair, sim_->now(),
+                    s.id);
+  }
   return s.id;
 }
 
@@ -455,6 +459,10 @@ void TcpStack::retransmit_now(Socket& s) {
     }
     ++s.syn_attempts;
     ++retransmissions_;
+    if (trace_ != nullptr) {
+      trace_->instant(trace_track_, trace::Stage::kRetransmit, sim_->now(),
+                      s.id);
+    }
     Packet syn;
     syn.src = s.local;
     syn.dst = s.remote;
@@ -466,6 +474,11 @@ void TcpStack::retransmit_now(Socket& s) {
     return;
   }
   if (s.state != TcpState::kEstablished || s.write_queue.empty()) return;
+  if (trace_ != nullptr) {
+    // One instant per RTO firing (arg = socket), not per segment.
+    trace_->instant(trace_track_, trace::Stage::kRetransmit, sim_->now(),
+                    s.id);
+  }
   // Go-back-N: retransmit every unacknowledged segment in order.
   for (const Segment& seg : s.write_queue) {
     ++retransmissions_;

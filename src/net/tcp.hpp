@@ -33,6 +33,7 @@
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "trace/recorder.hpp"
 
 namespace nlc::net {
 
@@ -156,6 +157,13 @@ class TcpStack : public PacketSink {
   /// may have been lost with the primary).
   SocketId repair_restore(const TcpRepairState& st, bool rto_fixed);
 
+  /// Attaches (or clears) the flight recorder; `track` places this stack's
+  /// events on the primary- or backup-side net lane. Observer only.
+  void set_trace(trace::Recorder* rec, trace::Track track) {
+    trace_ = rec;
+    trace_track_ = track;
+  }
+
  private:
   struct Socket {
     SocketId id = 0;
@@ -213,6 +221,8 @@ class TcpStack : public PacketSink {
   Port next_ephemeral_ = 40000;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t rsts_sent_ = 0;
+  trace::Recorder* trace_ = nullptr;
+  trace::Track trace_track_ = trace::Track::kNetPrimary;
 };
 
 }  // namespace nlc::net

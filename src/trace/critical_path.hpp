@@ -1,0 +1,67 @@
+// Per-epoch critical-path analysis over a flight-recorder stream
+// (DESIGN.md §11).
+//
+// For every epoch that both paused and released output, the commit latency
+// (pause begin → release instant, the paper's client-visible delay) is
+// decomposed into six consecutive simulated-time segments:
+//
+//   freeze    pause begin → harvest begin   (freeze + input-block + barrier)
+//   harvest   dirty-page harvest cost
+//   encode    shard delta encode (sim cost rides the ship span; usually ~0)
+//   tail      harvest/encode end → ship begin (resume + staging handoff)
+//   ship      state transfer on the replication wire
+//   ack-wait  ship end → release (backup recv + barrier wait + ack flight)
+//
+// The dominant stage is the argmax — the answer to "which stage made epoch
+// 4712's commit latency spike".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace nlc::trace {
+
+enum PathStage : int {
+  kPsFreeze,
+  kPsHarvest,
+  kPsEncode,
+  kPsTail,
+  kPsShip,
+  kPsAckWait,
+  kPsStageCount,
+};
+
+struct EpochAttribution {
+  std::uint64_t epoch = 0;
+  Time commit_latency = 0;  // pause begin → release, simulated ns
+  std::array<Time, kPsStageCount> stage_ns{};
+  int dominant = kPsFreeze;  // PathStage index with the largest share
+};
+
+class CriticalPath {
+ public:
+  /// Builds the per-epoch attribution from a drained event stream. Epochs
+  /// with a truncated record (no release, e.g. in-flight at failover) are
+  /// skipped — a flight recorder only explains what it saw complete.
+  explicit CriticalPath(const std::vector<Event>& events);
+
+  const std::vector<EpochAttribution>& epochs() const { return epochs_; }
+
+  /// The attribution for one epoch, or nullptr if it wasn't recorded.
+  const EpochAttribution* find(std::uint64_t epoch) const;
+
+  /// Per-stage breakdown table (mean/p99/max ms, share of total latency,
+  /// dominant-epoch count) for the bench harness and nlc_run to print.
+  std::string table() const;
+
+  static const char* stage_label(int ps);
+
+ private:
+  std::vector<EpochAttribution> epochs_;
+};
+
+}  // namespace nlc::trace

@@ -1,0 +1,137 @@
+#include "trace/export.hpp"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+
+namespace nlc::trace {
+
+namespace {
+
+char phase_char(EventType t) {
+  switch (t) {
+    case EventType::kSpanBegin: return 'B';
+    case EventType::kSpanEnd: return 'E';
+    case EventType::kInstant: return 'i';
+    case EventType::kCounter: return 'C';
+  }
+  return '?';
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ExportOptions& opts) {
+  std::string out;
+  out.reserve(events.size() * 120 + 1024);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+
+  // One Perfetto thread per track, named and ordered like the paper's
+  // pipeline figure (agents on top, net/disk/detector lanes below).
+  for (int t = 0; t < static_cast<int>(Track::kCount); ++t) {
+    append_fmt(out,
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": %d, \"args\": {\"name\": \"%s\"}},\n",
+               t + 1, track_name(static_cast<Track>(t)));
+    append_fmt(out,
+               "{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": %d, \"args\": {\"sort_index\": %d}},\n",
+               t + 1, t + 1);
+  }
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const int tid = static_cast<int>(e.track) + 1;
+    const double ts_us = static_cast<double>(e.sim_ns) / 1e3;
+    if (e.type == EventType::kCounter) {
+      append_fmt(out,
+                 "{\"name\": \"%s\", \"cat\": \"nlc\", \"ph\": \"C\", "
+                 "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+                 "\"args\": {\"value\": %llu}}",
+                 stage_name(e.stage), tid, ts_us,
+                 static_cast<unsigned long long>(e.arg));
+    } else {
+      append_fmt(out,
+                 "{\"name\": \"%s\", \"cat\": \"nlc\", \"ph\": \"%c\", "
+                 "\"pid\": 1, \"tid\": %d, \"ts\": %.3f",
+                 stage_name(e.stage), phase_char(e.type), tid, ts_us);
+      if (e.type == EventType::kInstant) out += ", \"s\": \"t\"";
+      append_fmt(out, ", \"args\": {\"arg\": %llu",
+                 static_cast<unsigned long long>(e.arg));
+      if (opts.wall_clock) {
+        append_fmt(out, ", \"wall_ns\": %llu",
+                   static_cast<unsigned long long>(e.wall_ns));
+      }
+      out += "}}";
+    }
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const Recorder& rec,
+                        const ExportOptions& opts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(rec.drain(), opts);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::string text_timeline(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 64);
+  for (const Event& e : events) {
+    append_fmt(out, "%12.3f ms  %-16s %c %-20s arg=%llu\n",
+               to_millis(e.sim_ns), track_name(e.track), phase_char(e.type),
+               stage_name(e.stage), static_cast<unsigned long long>(e.arg));
+  }
+  return out;
+}
+
+SpanCheck validate_spans(const std::vector<Event>& events) {
+  SpanCheck res;
+  std::array<std::vector<Stage>, static_cast<std::size_t>(Track::kCount)>
+      open;
+  for (const Event& e : events) {
+    auto& stack = open[static_cast<std::size_t>(e.track)];
+    if (e.type == EventType::kSpanBegin) {
+      stack.push_back(e.stage);
+    } else if (e.type == EventType::kSpanEnd) {
+      if (stack.empty()) {
+        if (res.ok) {
+          res.ok = false;
+          res.error = std::string("span_end '") + stage_name(e.stage) +
+                      "' on track '" + track_name(e.track) +
+                      "' with no open span";
+        }
+      } else if (stack.back() != e.stage) {
+        if (res.ok) {
+          res.ok = false;
+          res.error = std::string("span_end '") + stage_name(e.stage) +
+                      "' on track '" + track_name(e.track) +
+                      "' does not match open span '" +
+                      stage_name(stack.back()) + "'";
+        }
+        stack.pop_back();  // best effort: keep scanning past the mismatch
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& stack : open) res.unclosed += stack.size();
+  return res;
+}
+
+}  // namespace nlc::trace

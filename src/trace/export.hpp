@@ -1,0 +1,48 @@
+// Trace exporters (DESIGN.md §11): Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and a compact text timeline, plus the span
+// stream validator used by tests and the critical-path analyzer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/events.hpp"
+#include "trace/recorder.hpp"
+
+namespace nlc::trace {
+
+struct ExportOptions {
+  /// Include wall-clock stamps in each event's args. On by default; the
+  /// golden-file test turns it off because wall time is the one
+  /// nondeterministic field in an otherwise byte-stable export.
+  bool wall_clock = true;
+};
+
+/// Chrome trace-event JSON ("traceEvents" array format). One Perfetto
+/// thread per Track (thread_name metadata), span begin/end as B/E phases,
+/// instants as "i", counters as "C"; ts = simulated microseconds.
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ExportOptions& opts = {});
+
+/// Drains the recorder and writes chrome_trace_json to `path`.
+/// Returns false if the file can't be opened.
+bool write_chrome_trace(const std::string& path, const Recorder& rec,
+                        const ExportOptions& opts = {});
+
+/// Compact human-readable timeline, one line per event, ordered by seq.
+std::string text_timeline(const std::vector<Event>& events);
+
+/// Span-stream validation result.
+struct SpanCheck {
+  bool ok = true;         // false on a structural violation (mismatched end)
+  std::string error;      // first violation, human-readable
+  std::size_t unclosed = 0;  // spans still open at end of stream
+};
+
+/// Checks per-track strict LIFO nesting of span begin/end pairs. Unclosed
+/// spans are tolerated (a flight recorder is truncated by design — e.g.
+/// the primary killed mid-pause) and only counted; a span_end whose stage
+/// doesn't match the innermost open span on its track is a violation.
+SpanCheck validate_spans(const std::vector<Event>& events);
+
+}  // namespace nlc::trace

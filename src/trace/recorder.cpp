@@ -1,0 +1,105 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+namespace nlc::trace {
+
+namespace {
+
+// Process-unique recorder ids: the thread-local ring cache is keyed by id,
+// not by address, so a Recorder allocated at a freed Recorder's address can
+// never satisfy a stale cache entry.
+std::atomic<std::uint64_t> g_recorder_ids{1};
+
+// Global small thread ids, assigned on first use per thread. Used to find
+// this thread's existing ring after a cache miss (e.g. when one thread
+// alternates between two recorders).
+std::atomic<int> g_thread_ids{0};
+
+int this_thread_id() {
+  static thread_local int id = g_thread_ids.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+struct RingCache {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local RingCache t_ring_cache;
+
+}  // namespace
+
+Recorder::Recorder(std::size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+Recorder::Ring* Recorder::ring_for_this_thread() {
+  if (t_ring_cache.recorder_id == id_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  const int tid = this_thread_id();
+  std::lock_guard<std::mutex> lk(mu_);
+  Ring* ring = nullptr;
+  for (const auto& r : rings_) {
+    if (r->thread_id == tid) {
+      ring = r.get();
+      break;
+    }
+  }
+  if (ring == nullptr) {
+    rings_.push_back(std::make_unique<Ring>(capacity_, tid));
+    ring = rings_.back().get();
+  }
+  t_ring_cache = {id_, ring};
+  return ring;
+}
+
+void Recorder::record(EventType type, Track t, Stage s, Time sim_now,
+                      std::uint64_t arg) {
+  Ring* ring = ring_for_this_thread();
+  const std::size_t n = ring->count.load(std::memory_order_relaxed);
+  if (n >= capacity_) {
+    ring->drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& e = ring->slots[n];
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  e.sim_ns = sim_now;
+  e.wall_ns = util::wall_now_ns();
+  e.arg = arg;
+  e.type = type;
+  e.track = t;
+  e.stage = s;
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<Event> Recorder::drain() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& r : rings_) {
+      const std::size_t n = r->count.load(std::memory_order_acquire);
+      out.insert(out.end(), r->slots.begin(),
+                 r->slots.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::uint64_t Recorder::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->count.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t Recorder::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->drops.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace nlc::trace

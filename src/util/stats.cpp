@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/assert.hpp"
 
@@ -56,6 +57,22 @@ double Samples::percentile(double p) const {
   auto hi = std::min(lo + 1, sorted_.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Samples::summary_json() const {
+  double m = 0, p50 = 0, p99 = 0, p9 = 0;
+  if (!values_.empty()) {
+    m = mean();
+    p50 = percentile(50);
+    p99 = percentile(99);
+    p9 = p999();
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "\"mean\": %.6g, \"p50\": %.6g, \"p99\": %.6g, "
+                "\"p999\": %.6g, \"count\": %zu",
+                m, p50, p99, p9, values_.size());
+  return buf;
 }
 
 double Samples::stddev() const {

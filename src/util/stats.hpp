@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace nlc {
@@ -24,6 +25,13 @@ class Samples {
   double max() const;
   /// Exact percentile by nearest-rank; p in [0, 100].
   double percentile(double p) const;
+  /// Tail percentile shorthand (99.9th), the paper's long-tail lens.
+  double p999() const { return percentile(99.9); }
+  /// The standard summary fields as a JSON fragment without enclosing
+  /// braces — `"mean": …, "p50": …, "p99": …, "p999": …, "count": n` — so
+  /// callers can splice extra fields (a label, a unit) into the same
+  /// object. All BENCH_*.json point emission goes through this.
+  std::string summary_json() const;
   /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
   double stddev() const;
   /// Coefficient of variation (stddev / mean); 0 when mean is 0.

@@ -1,10 +1,12 @@
-// Simulated-time types and literals.
+// Simulated-time types and literals, plus the repository's single wall-clock
+// seam.
 //
 // All simulated time is in integer nanoseconds since simulation start.
 // Using a plain integral type keeps the event queue and arithmetic simple;
 // the helpers below make call sites read like the paper ("30ms epochs").
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace nlc {
@@ -32,6 +34,30 @@ constexpr Time seconds_f(double n) { return static_cast<Time>(n * 1e9); }
 constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
 constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
 constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+
+namespace util {
+
+/// The one place the repository reads the machine's monotonic clock.
+///
+/// Everything that measures real elapsed time — ShardStageNanos, the trial
+/// runner, the benches, trace wall stamps — goes through this helper so all
+/// wall-clock numbers share one clock domain and the two domains (simulated
+/// Time vs. wall nanoseconds) are impossible to mix up silently. tools/lint.sh
+/// bans raw std::chrono::steady_clock outside src/util. Wall time must never
+/// feed back into simulated behaviour (DESIGN.md §10 determinism discipline).
+inline std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds elapsed since a wall_now_ns() reading.
+inline double wall_seconds_since(std::uint64_t t0_ns) {
+  return static_cast<double>(wall_now_ns() - t0_ns) / 1e9;
+}
+
+}  // namespace util
 
 namespace literals {
 constexpr Time operator""_ns(unsigned long long n) { return Time(n); }

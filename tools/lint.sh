@@ -60,6 +60,13 @@ scan 'std::thread|std::jthread' \
     'raw std::thread — use util::WorkerPool (src/util/worker_pool.hpp)' \
     '//|worker_pool|hardware_concurrency'
 
+# Raw wall-clock reads: all wall time flows through util::wall_now_ns() so
+# flight-recorder stamps and ShardStageNanos share one clock domain
+# (src/util/time.hpp is the single allowed steady_clock site).
+scan 'steady_clock' \
+    'raw steady_clock — use util::wall_now_ns() (src/util/time.hpp)' \
+    '^src/util/|//'
+
 if [ "$status" -eq 0 ]; then
     echo "lint: OK"
 fi

@@ -11,9 +11,12 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/catalog.hpp"
 #include "harness/experiment.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
 #include "util/assert.hpp"
 
 namespace {
@@ -47,6 +50,10 @@ void usage() {
       "                     continuous (default off; violations exit 1)\n"
       "  --kv               validating KV payloads\n"
       "  --diskstress       run the disk/memory consistency microbenchmark\n"
+      "  --trace FILE       record a flight-recorder trace and write it as\n"
+      "                     Chrome trace-event JSON (open in Perfetto:\n"
+      "                     ui.perfetto.dev); also prints the per-epoch\n"
+      "                     critical-path table (--trace=FILE works too)\n"
       "  --list             list workloads and exit\n");
 }
 
@@ -57,6 +64,7 @@ int main(int argc, char** argv) {
   cfg.spec = apps::netecho_spec();
   cfg.measure = nlc::seconds(6);
   cfg.batch_work = nlc::seconds(3);
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -110,6 +118,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown audit level\n");
         return 2;
       }
+    } else if (arg == "--trace") {
+      trace_path = next();
+      cfg.nilicon.trace_level = core::TraceLevel::kFull;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      cfg.nilicon.trace_level = core::TraceLevel::kFull;
     } else if (arg == "--kv") {
       cfg.kv_validation = true;
     } else if (arg == "--diskstress") {
@@ -178,6 +192,23 @@ int main(int argc, char** argv) {
   if (r.audited) {
     std::printf("audit: %llu invariant checks, 0 violations\n",
                 static_cast<unsigned long long>(r.audit.total()));
+  }
+
+  if (!trace_path.empty()) {
+    if (r.trace == nullptr) {
+      std::fprintf(stderr,
+                   "--trace requires --mode nilicon (no trace recorded)\n");
+      return 2;
+    }
+    if (!trace::write_chrome_trace(trace_path, *r.trace)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 2;
+    }
+    std::vector<trace::Event> events = r.trace->drain();
+    std::printf("trace: %zu events (%llu dropped) -> %s\n", events.size(),
+                static_cast<unsigned long long>(r.trace->dropped()),
+                trace_path.c_str());
+    std::printf("%s", trace::CriticalPath(events).table().c_str());
   }
 
   // Machine-readable line.
