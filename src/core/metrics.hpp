@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "util/simd.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -42,9 +43,13 @@ struct ReplicationMetrics {
   /// made at harvest alone).
   std::uint64_t payload_copies_avoided = 0;
 
-  // ---- Sharded page pipeline (DESIGN.md §10) ------------------------------
+  // ---- Sharded page pipeline (DESIGN.md §10/§12) --------------------------
   /// Shard count the agent pair ran with (resolved from Options/NLC_SHARDS).
   int page_shards_used = 1;
+  /// Delta-codec scan-kernel tier the primary ran with (resolved from
+  /// Options::simd_tier / NLC_SIMD; util::simd_tier_name() renders it).
+  /// Observability only — observables are tier-independent.
+  util::SimdTier simd_tier_used = util::SimdTier::kScalar;
   /// Per-stage wall-clock accounting (not simulated time).
   ShardStageNanos shard_stage_ns;
 

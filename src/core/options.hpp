@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/simd.hpp"
 #include "util/time.hpp"
 #include "util/worker_pool.hpp"
 
@@ -89,6 +90,17 @@ struct Options {
     int s = page_shards > 0 ? page_shards : util::env_shards();
     if (s < 1) return 1;
     return s > util::kMaxShards ? util::kMaxShards : s;
+  }
+
+  /// DESIGN.md §12: scan-kernel tier of the sharded delta codec. kAuto
+  /// defers to NLC_SIMD (scalar | swar64 | simd | auto = fastest the CPU
+  /// runs). Every tier produces byte-identical observables — only wall
+  /// clock changes; NLC_SHARDS=1 keeps the scalar reference engine
+  /// regardless of tier.
+  util::SimdTier simd_tier = util::SimdTier::kAuto;
+
+  util::SimdTier resolved_simd_tier() const {
+    return util::resolve_simd_tier(simd_tier);
   }
 
   /// The seven cumulative configurations of Table I, row index 0..6.

@@ -15,10 +15,11 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid), drbd_(&drbd),
       state_out_(&state_out), ack_in_(&ack_in), hb_out_(&hb_out),
       metrics_(&metrics), ckpt_(kernel, tcp), cache_(kernel, cid),
-      delta_(opts.resolved_page_shards()),
+      delta_(opts.resolved_page_shards(), opts.resolved_simd_tier()),
       rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
       ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {
   metrics_->page_shards_used = delta_.shards();
+  metrics_->simd_tier_used = delta_.simd_tier();
 }
 
 net::IpAddr PrimaryAgent::service_ip() const {

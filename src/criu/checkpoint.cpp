@@ -3,11 +3,17 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 #include "util/worker_pool.hpp"
 
 namespace nlc::criu {
 
 namespace {
+
+/// Distance (in entries) the harvest fill prefetches ahead of itself: far
+/// enough to cover a memory round trip at ~8 entries of fill work, near
+/// enough that the line is still resident when reached.
+constexpr std::size_t kFillPrefetch = 8;
 
 /// Fills pages[base .. base+n) from an index-addressable source. Each slot
 /// depends only on its own source entry, so contiguous chunks writing
@@ -187,17 +193,28 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
     scanned_pages += mm.mapped_pages();
     const auto& states = mm.page_states();
     if (opts.incremental) {
-      std::vector<kern::PageNum> dirty(mm.dirty_pages().begin(),
-                                       mm.dirty_pages().end());
-      std::sort(dirty.begin(), dirty.end());  // deterministic image order
+      // The dirty list already carries (page, state*) pairs (DESIGN.md
+      // §12): sorting the contiguous vector restores deterministic image
+      // order, and the fill below is a linear scan with zero hash probes.
+      std::vector<kern::AddressSpace::DirtyRef> dirty(
+          mm.dirty_pages().begin(), mm.dirty_pages().end());
+      std::sort(dirty.begin(), dirty.end(),
+                [](const kern::AddressSpace::DirtyRef& a,
+                   const kern::AddressSpace::DirtyRef& b) {
+                  return a.page < b.page;
+                });
       r.content_pages += fill_page_records(
           img.pages, img.pages.size(), dirty.size(), opts.shards, opts.pool,
           [&](std::size_t i, PageRecord& rec) {
-            auto it = states.find(dirty[i]);  // one probe: version + payload
-            NLC_CHECK_MSG(it != states.end(), "dirty page without state");
-            rec.page = dirty[i];
-            rec.version = it->second.version;
-            rec.content = it->second.payload;
+            // Pull the page state a few entries ahead; the shared-handle
+            // copy below is the first (otherwise cold) touch.
+            if (i + kFillPrefetch < dirty.size()) {
+              util::prefetch_read(dirty[i + kFillPrefetch].state);
+            }
+            const kern::AddressSpace::DirtyRef& d = dirty[i];
+            rec.page = d.page;
+            rec.version = d.state->version;
+            rec.content = d.state->payload;
             return rec.has_content();
           });
     } else {
@@ -215,6 +232,9 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
       r.content_pages += fill_page_records(
           img.pages, img.pages.size(), resident.size(), opts.shards,
           opts.pool, [&](std::size_t i, PageRecord& rec) {
+            if (i + kFillPrefetch < resident.size()) {
+              util::prefetch_read(resident[i + kFillPrefetch].second);
+            }
             rec.page = resident[i].first;
             rec.version = resident[i].second->version;
             rec.content = resident[i].second->payload;

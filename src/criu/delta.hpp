@@ -32,6 +32,7 @@
 #include "criu/shard.hpp"
 #include "kernel/address_space.hpp"
 #include "util/assert.hpp"
+#include "util/simd.hpp"
 #include "util/worker_pool.hpp"
 
 namespace nlc::criu {
@@ -71,28 +72,6 @@ inline void seal_delta(PageDelta& d) {
   } else {
     d.wire_size = size;
   }
-}
-
-/// First index in [i, n) where a and b differ; n if none. Word-at-a-time
-/// on little-endian targets (countr_zero of the XOR picks the first
-/// mismatching byte inside the word), byte-at-a-time otherwise.
-inline std::uint32_t first_mismatch(const std::byte* a, const std::byte* b,
-                                    std::uint32_t i, std::uint32_t n) {
-  if constexpr (std::endian::native == std::endian::little) {
-    while (i + 8 <= n) {
-      std::uint64_t x = 0;
-      std::uint64_t y = 0;
-      std::memcpy(&x, a + i, 8);
-      std::memcpy(&y, b + i, 8);
-      if (x != y) {
-        return i +
-               static_cast<std::uint32_t>(std::countr_zero(x ^ y) >> 3);
-      }
-      i += 8;
-    }
-  }
-  while (i < n && a[i] == b[i]) ++i;
-  return i;
 }
 
 }  // namespace detail
@@ -142,14 +121,17 @@ inline PageDelta delta_encode(const kern::PageBytes* prev,
   return d;
 }
 
-/// Word-scanning encoder kernel used by the sharded pipeline (DESIGN.md
-/// §10): equal spans — the overwhelming majority of bytes of a typical
-/// dirty page — are skipped 8 bytes per compare instead of 1, with run
-/// boundaries still resolved at byte granularity. Produces runs, raw flag
-/// and wire_size bit-identical to delta_encode() for every input
-/// (tests/shard_determinism_test, property_test).
-inline PageDelta delta_encode_fast(const kern::PageBytes* prev,
-                                   const kern::PageBytes& cur) {
+/// Span-scanning encoder kernel used by the sharded pipeline (DESIGN.md
+/// §10/§12): equal spans — the overwhelming majority of bytes of a typical
+/// dirty page — and changed spans are both resolved by the dispatched scan
+/// primitives (util/simd.hpp): 8 bytes per compare at kSwar64, 32 at
+/// kVector, byte-at-a-time at kScalar. Run boundaries follow exactly the
+/// reference kernel's absorb rule, so runs, raw flag and wire_size are
+/// bit-identical to delta_encode() for every input and every tier
+/// (tests/simd_kernel_test, tests/shard_determinism_test, property_test).
+inline PageDelta delta_encode_fast(
+    const kern::PageBytes* prev, const kern::PageBytes& cur,
+    util::SimdTier tier = util::SimdTier::kSwar64) {
   NLC_CHECK(cur.size() == nlc::kPageSize);
   PageDelta d;
   if (prev == nullptr) {
@@ -160,34 +142,35 @@ inline PageDelta delta_encode_fast(const kern::PageBytes* prev,
   NLC_CHECK(prev->size() == nlc::kPageSize);
   const std::byte* a = cur.data();
   const std::byte* b = prev->data();
-  const auto n = static_cast<std::uint32_t>(nlc::kPageSize);
-  std::uint32_t i = detail::first_mismatch(a, b, 0, n);
+  const std::size_t n = nlc::kPageSize;
+  std::size_t i = util::find_diff(a, b, 0, n, tier);
   while (i < n) {
-    std::uint32_t start = i;
-    std::uint32_t last_diff = i;
-    ++i;
-    while (i < n) {
-      if (a[i] != b[i]) {
-        last_diff = i++;
-        continue;
+    const std::size_t start = i;
+    std::size_t last_diff = i;
+    // Invariant at the top of the loop: a[i] != b[i]. Extend over the
+    // changed span, then absorb an equal gap iff it is no wider than the
+    // framing a new run would cost (the same decision the reference kernel
+    // makes one byte at a time: it keeps absorbing equal bytes while
+    // i - last_diff <= kDeltaRunHeader, so a next diff at
+    // last_diff + kDeltaRunHeader + 1 still extends the run).
+    for (;;) {
+      const std::size_t same = util::find_same(a, b, i + 1, n, tier);
+      last_diff = same - 1;
+      if (same >= n) {
+        i = n;
+        break;
       }
-      // Equal byte: jump to the next mismatch and absorb the gap iff it
-      // is no wider than the framing a new run would cost (the same
-      // decision the reference kernel makes one byte at a time: it keeps
-      // absorbing equal bytes while i - last_diff <= kDeltaRunHeader, so a
-      // next diff at last_diff + kDeltaRunHeader + 1 still extends the
-      // run).
-      std::uint32_t j = detail::first_mismatch(a, b, i, n);
+      const std::size_t j = util::find_diff(a, b, same, n, tier);
       if (j >= n || j - last_diff > kDeltaRunHeader + 1) {
         i = j;
         break;
       }
-      last_diff = j;
-      i = j + 1;
+      i = j;  // diff within the absorbable gap: the run continues
     }
     PageDelta::Run run;
-    run.offset = start;
-    run.bytes.assign(cur.begin() + start, cur.begin() + last_diff + 1);
+    run.offset = static_cast<std::uint32_t>(start);
+    run.bytes.assign(cur.begin() + static_cast<std::ptrdiff_t>(start),
+                     cur.begin() + static_cast<std::ptrdiff_t>(last_diff + 1));
     d.runs.push_back(std::move(run));
   }
   detail::seal_delta(d);
@@ -204,10 +187,16 @@ inline kern::PageBytes delta_apply(const kern::PageBytes* prev,
     return *raw_payload;
   }
   NLC_CHECK_MSG(prev != nullptr, "delta apply without reference page");
-  kern::PageBytes out = *prev;
+  // Bulk copies via memcpy: the reference copy and every run land as wide
+  // vector moves (and the output buffer comes from the slab arena via
+  // PageBytes' allocator).
+  kern::PageBytes out(prev->size());
+  std::memcpy(out.data(), prev->data(), prev->size());
   for (const PageDelta::Run& r : d.runs) {
     NLC_CHECK(r.offset + r.bytes.size() <= out.size());
-    std::copy(r.bytes.begin(), r.bytes.end(), out.begin() + r.offset);
+    if (!r.bytes.empty()) {
+      std::memcpy(out.data() + r.offset, r.bytes.data(), r.bytes.size());
+    }
   }
   return out;
 }
@@ -234,16 +223,21 @@ struct EpochDeltaStats {
 /// into independent per-shard maps keyed by shard_of(page) — a page's
 /// references live in one shard forever, so encode_epoch() fans the
 /// per-shard encode out on the worker pool with no locks, using the
-/// word-scanning kernel. Stats merge by summation in shard order. Stamped
+/// span-scanning kernel at the codec's SIMD tier (NLC_SIMD /
+/// Options::simd_tier, DESIGN.md §12). Stats merge by summation in shard
+/// order. Stamped
 /// wire sizes and EpochDeltaStats are byte-identical for any shard count;
 /// shards == 1 is the exact serial pre-shard engine (reference kernel,
 /// one map).
 class DeltaCodec {
  public:
-  explicit DeltaCodec(int shards = 1)
-      : prev_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+  explicit DeltaCodec(int shards = 1,
+                      util::SimdTier tier = util::SimdTier::kAuto)
+      : prev_(static_cast<std::size_t>(shards < 1 ? 1 : shards)),
+        tier_(util::resolve_simd_tier(tier)) {}
 
   int shards() const { return static_cast<int>(prev_.size()); }
+  util::SimdTier simd_tier() const { return tier_; }
 
   /// Encodes every content page of `img` against the previously shipped
   /// version, stamping PageRecord::wire_size, and advances the reference
@@ -252,6 +246,9 @@ class DeltaCodec {
   EpochDeltaStats encode_epoch(CheckpointImage& img,
                                util::WorkerPool* pool = nullptr) {
     if (shards() == 1) {
+      // Presize for the upper bound of this epoch's inserts so try_emplace
+      // never rehashes mid-epoch.
+      prev_[0].reserve(prev_[0].size() + img.pages.size());
       EpochDeltaStats st;
       for (PageRecord& rec : img.pages) {
         encode_one(rec, prev_[0], st, /*fast=*/false);
@@ -261,8 +258,21 @@ class DeltaCodec {
     ShardPlan plan = ShardPlan::build(img.pages, shards());
     std::vector<EpochDeltaStats> per(prev_.size());
     auto encode_shard = [&](std::size_t s) {
-      for (std::uint32_t idx : plan.buckets[s]) {
-        encode_one(img.pages[idx], prev_[s], per[s], /*fast=*/true);
+      const std::vector<std::uint32_t>& bucket = plan.buckets[s];
+      // Rehash-churn fix (ISSUE 6 satellite): one reserve per shard per
+      // epoch bounds the map at its final size before the first probe.
+      prev_[s].reserve(prev_[s].size() + bucket.size());
+      for (std::size_t k = 0; k < bucket.size(); ++k) {
+        // Pull the next record and the head of its payload while encoding
+        // this one; the 4 KiB scan gives the lines time to arrive.
+        if (k + 1 < bucket.size()) {
+          const PageRecord& next = img.pages[bucket[k + 1]];
+          util::prefetch_read(&next);
+          if (next.content != nullptr) {
+            util::prefetch_read(next.content->data());
+          }
+        }
+        encode_one(img.pages[bucket[k]], prev_[s], per[s], /*fast=*/true);
       }
     };
     if (pool != nullptr) {
@@ -291,8 +301,8 @@ class DeltaCodec {
  private:
   using RefMap = std::unordered_map<kern::PageNum, kern::PagePayload>;
 
-  static void encode_one(PageRecord& rec, RefMap& refs, EpochDeltaStats& st,
-                         bool fast) {
+  void encode_one(PageRecord& rec, RefMap& refs, EpochDeltaStats& st,
+                  bool fast) const {
     if (!rec.has_content()) return;
     ++st.content_pages;
     st.raw_bytes += nlc::kPageSize;
@@ -313,8 +323,8 @@ class DeltaCodec {
       return;
     }
     const kern::PageBytes* ref = inserted ? nullptr : it->second.get();
-    PageDelta d =
-        fast ? delta_encode_fast(ref, *rec.content) : delta_encode(ref, *rec.content);
+    PageDelta d = fast ? delta_encode_fast(ref, *rec.content, tier_)
+                       : delta_encode(ref, *rec.content);
     rec.wire_size = d.wire_size;
     st.wire_bytes += d.wire_size;
     if (d.raw) {
@@ -326,6 +336,7 @@ class DeltaCodec {
   }
 
   std::vector<RefMap> prev_;
+  util::SimdTier tier_;
 };
 
 }  // namespace nlc::criu

@@ -12,12 +12,15 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <unordered_map>
 
 #include "criu/image.hpp"
 #include "criu/shard.hpp"
+#include "util/arena.hpp"
+#include "util/simd.hpp"
 #include "util/worker_pool.hpp"
 
 namespace nlc::criu {
@@ -114,10 +117,20 @@ class ListPageStore final : public PageStore {
 /// store for every shard count; internally each shard memoizes the leaf
 /// directory of the last stored page, so folding a dense sorted range
 /// resolves ~1 level per page instead of walking all 4.
+///
+/// Memory layout (DESIGN.md §12): nodes are 4-byte headers in one dense
+/// per-shard vector; each node's 512 child/leaf slots are 32-bit indices in
+/// one contiguous per-shard slot table (arena-backed), and the PageRecords
+/// themselves live in a per-shard arena-backed deque — stable addresses for
+/// lookup()/all_pages(), no per-page heap allocation anywhere, and a fold
+/// or walk touches a handful of dense arrays instead of chasing 8 KiB
+/// heap-scattered nodes.
 class RadixPageStore final : public PageStore {
  public:
   explicit RadixPageStore(int shards = 1)
-      : shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+      : shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {
+    for (Shard& sh : shards_) sh.root = new_node(sh);
+  }
 
   int shards() const { return static_cast<int>(shards_.size()); }
 
@@ -140,7 +153,16 @@ class RadixPageStore final : public PageStore {
     ShardPlan plan = ShardPlan::build(recs, shards());
     auto fold_one = [&](std::size_t s) {
       Shard& sh = shards_[s];
-      for (std::uint32_t idx : plan.buckets[s]) store_into(sh, recs[idx]);
+      const std::vector<std::uint32_t>& bucket = plan.buckets[s];
+      for (std::size_t k = 0; k < bucket.size(); ++k) {
+        // The bucket is a contiguous index list, so the walk itself is a
+        // linear scan; pull the next record (and its payload handle) while
+        // this one folds.
+        if (k + 1 < bucket.size()) {
+          util::prefetch_read(&recs[bucket[k + 1]]);
+        }
+        store_into(sh, recs[bucket[k]]);
+      }
     };
     if (pool != nullptr) {
       pool->run(shards_.size(), fold_one);
@@ -151,13 +173,14 @@ class RadixPageStore final : public PageStore {
   }
 
   const PageRecord* lookup(kern::PageNum page) const override {
-    const Node* n = &shards_[shard_of(page, shards())].root;
+    const Shard& sh = shards_[shard_of(page, shards())];
+    std::uint32_t node = sh.root;
     for (int level = 3; level >= 1; --level) {
-      const auto& child = n->children[index_at(page, level)];
-      if (!child) return nullptr;
-      n = child.get();
+      node = sh.slot(sh.nodes[node].table, index_at(page, level));
+      if (node == kNil) return nullptr;
     }
-    return n->leaves[index_at(page, 0)].get();
+    const std::uint32_t rec = sh.slot(sh.nodes[node].table, index_at(page, 0));
+    return rec == kNil ? nullptr : &sh.records[rec];
   }
 
   std::uint64_t page_count() const override {
@@ -170,7 +193,7 @@ class RadixPageStore final : public PageStore {
     if (shards_.size() == 1) {
       std::vector<const PageRecord*> out;
       out.reserve(shards_[0].count);
-      collect(shards_[0].root, 3, out);
+      collect(shards_[0], shards_[0].root, 3, out);
       return out;
     }
     // Deterministic merge: each shard's walk is ascending by page number;
@@ -180,7 +203,7 @@ class RadixPageStore final : public PageStore {
     std::size_t total = 0;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       per[s].reserve(shards_[s].count);
-      collect(shards_[s].root, 3, per[s]);
+      collect(shards_[s], shards_[s].root, 3, per[s]);
       total += per[s].size();
     }
     std::vector<const PageRecord*> out;
@@ -205,43 +228,79 @@ class RadixPageStore final : public PageStore {
  private:
   static constexpr std::uint64_t kBits = 9;
   static constexpr std::size_t kFanout = 1u << kBits;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
+  /// Node header. The 512 child (interior) or record (leaf) slots are u32
+  /// indices at offset table * kFanout of the owning shard's slot array —
+  /// half the footprint of 64-bit pointers, and dense. The header itself
+  /// must stay within one cache line (ISSUE 6 satellite).
   struct Node {
-    std::array<std::unique_ptr<Node>, kFanout> children{};
-    std::array<std::unique_ptr<PageRecord>, kFanout> leaves{};
+    std::uint32_t table = kNil;
   };
+  static_assert(sizeof(Node) <= 64, "radix node header must fit a cache line");
 
   struct Shard {
-    Node root;
+    /// Dense node headers; element 0..root created at construction.
+    std::vector<Node, util::ArenaAllocator<Node>> nodes;
+    /// All slot tables, kFanout entries per node, arena-backed.
+    std::vector<std::uint32_t, util::ArenaAllocator<std::uint32_t>> slots;
+    /// Committed records; deque keeps addresses stable across growth while
+    /// drawing its blocks from the arena.
+    std::deque<PageRecord, util::ArenaAllocator<PageRecord>> records;
+    std::uint32_t root = kNil;
     std::uint64_t count = 0;
     /// Fold fast path: leaf directory of the last stored page and its
-    /// page-number prefix. Interior nodes are never freed, so the cached
-    /// pointer stays valid for the store's lifetime.
-    Node* last_parent = nullptr;
+    /// page-number prefix (node indices never move, so the memo stays
+    /// valid for the store's lifetime).
+    std::uint32_t last_leaf = kNil;
     kern::PageNum last_prefix = ~0ull;
+
+    std::uint32_t slot(std::uint32_t table, std::size_t idx) const {
+      return slots[static_cast<std::size_t>(table) * kFanout + idx];
+    }
+    void set_slot(std::uint32_t table, std::size_t idx, std::uint32_t v) {
+      slots[static_cast<std::size_t>(table) * kFanout + idx] = v;
+    }
   };
 
+  /// Appends a node with a fresh all-nil slot table; returns its index.
+  static std::uint32_t new_node(Shard& sh) {
+    const auto table =
+        static_cast<std::uint32_t>(sh.slots.size() / kFanout);
+    sh.slots.resize(sh.slots.size() + kFanout, kNil);
+    sh.nodes.push_back(Node{table});
+    return static_cast<std::uint32_t>(sh.nodes.size() - 1);
+  }
+
   std::uint64_t store_into(Shard& sh, const PageRecord& rec) {
-    kern::PageNum prefix = rec.page >> kBits;
-    Node* n;
-    if (sh.last_parent != nullptr && prefix == sh.last_prefix) {
-      n = sh.last_parent;
+    const kern::PageNum prefix = rec.page >> kBits;
+    std::uint32_t leaf;
+    if (sh.last_leaf != kNil && prefix == sh.last_prefix) {
+      leaf = sh.last_leaf;
     } else {
-      n = &sh.root;
+      std::uint32_t node = sh.root;
       for (int level = 3; level >= 1; --level) {
-        std::size_t idx = index_at(rec.page, level);
-        if (!n->children[idx]) n->children[idx] = std::make_unique<Node>();
-        n = n->children[idx].get();
+        const std::size_t idx = index_at(rec.page, level);
+        std::uint32_t child = sh.slot(sh.nodes[node].table, idx);
+        if (child == kNil) {
+          child = new_node(sh);
+          sh.set_slot(sh.nodes[node].table, idx, child);
+        }
+        node = child;
       }
-      sh.last_parent = n;
+      leaf = node;
+      sh.last_leaf = leaf;
       sh.last_prefix = prefix;
     }
-    std::size_t idx = index_at(rec.page, 0);
-    if (!n->leaves[idx]) {
-      n->leaves[idx] = std::make_unique<PageRecord>(rec);
+    const std::size_t idx = index_at(rec.page, 0);
+    const std::uint32_t slot = sh.slot(sh.nodes[leaf].table, idx);
+    if (slot == kNil) {
+      sh.set_slot(sh.nodes[leaf].table, idx,
+                  static_cast<std::uint32_t>(sh.records.size()));
+      sh.records.push_back(rec);
       ++sh.count;
     } else {
-      *n->leaves[idx] = rec;
+      sh.records[slot] = rec;
     }
     // The paper's cost model charges the full level walk per store; the
     // memoized walk is a wall-clock optimization, not a model change.
@@ -252,16 +311,19 @@ class RadixPageStore final : public PageStore {
     return static_cast<std::size_t>((page >> (kBits * level)) & (kFanout - 1));
   }
 
-  static void collect(const Node& n, int level,
+  static void collect(const Shard& sh, std::uint32_t node, int level,
                       std::vector<const PageRecord*>& out) {
+    const std::uint32_t table = sh.nodes[node].table;
     if (level == 0) {
-      for (const auto& leaf : n.leaves) {
-        if (leaf) out.push_back(leaf.get());
+      for (std::size_t i = 0; i < kFanout; ++i) {
+        const std::uint32_t rec = sh.slot(table, i);
+        if (rec != kNil) out.push_back(&sh.records[rec]);
       }
       return;
     }
-    for (const auto& child : n.children) {
-      if (child) collect(*child, level - 1, out);
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      const std::uint32_t child = sh.slot(table, i);
+      if (child != kNil) collect(sh, child, level - 1, out);
     }
   }
 

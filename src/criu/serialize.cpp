@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 #include "util/worker_pool.hpp"
 
@@ -23,7 +24,7 @@ class Writer {
     raw(s.data(), s.size());
   }
 
-  void bytes(const std::vector<std::byte>& v) {
+  void bytes(std::span<const std::byte> v) {
     u32(static_cast<std::uint32_t>(v.size()));
     buf_.insert(buf_.end(), v.begin(), v.end());
   }
@@ -475,7 +476,9 @@ CheckpointImage deserialize_image(std::span<const std::byte> data) {
       p.version = rd.u64();
       p.wire_size = rd.u32();
       if (rd.b()) {
-        p.content = std::make_shared<kern::PageBytes>(rd.bytes());
+        const std::vector<std::byte> raw = rd.bytes();
+        p.content =
+            util::arena_make_shared<kern::PageBytes>(raw.begin(), raw.end());
       }
     }
   }

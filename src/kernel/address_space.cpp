@@ -37,8 +37,11 @@ void AddressSpace::unmap(std::uint64_t vma_id) {
   auto it = std::find_if(vmas_.begin(), vmas_.end(),
                          [&](const Vma& v) { return v.id == vma_id; });
   NLC_CHECK_MSG(it != vmas_.end(), "unmap of unknown VMA");
+  // Drop dirty-list entries before their page states disappear.
+  std::erase_if(dirty_, [&](const DirtyRef& d) {
+    return it->contains(d.page);
+  });
   for (PageNum p = it->start; p < it->end(); ++p) {
-    dirty_.erase(p);
     pages_.erase(p);
   }
   mapped_pages_ -= it->npages;
@@ -61,9 +64,17 @@ void AddressSpace::check_mapped(PageNum page) const {
 
 bool AddressSpace::touch(PageNum page) {
   check_mapped(page);
-  ++pages_[page].version;
+  PageState& st = pages_[page];
+  ++st.version;
   if (!tracking_) return false;
-  return dirty_.insert(page).second;
+  return mark_dirty(page, st);
+}
+
+bool AddressSpace::mark_dirty(PageNum page, PageState& st) {
+  if (st.dirty) return false;
+  st.dirty = true;
+  dirty_.push_back(DirtyRef{page, &st});
+  return true;
 }
 
 std::uint64_t AddressSpace::touch_range(PageNum start, std::uint64_t count) {
@@ -81,17 +92,18 @@ bool AddressSpace::write(PageNum page, std::uint32_t offset,
   PageState& st = pages_[page];
   ++st.version;
   if (!st.payload) {
-    st.payload = std::make_shared<PageBytes>(kPageSize, std::byte{0});
+    st.payload = util::arena_make_shared<PageBytes>(kPageSize, std::byte{0});
   } else if (st.payload.use_count() > 1) {
     // A checkpoint image / page store / restored container still holds a
     // handle to these bytes: clone before mutating (copy-on-write), so the
-    // captured state stays exactly what the freeze observed.
-    st.payload = std::make_shared<PageBytes>(*st.payload);
+    // captured state stays exactly what the freeze observed. The clone's
+    // buffer and control block both come from the slab arena.
+    st.payload = util::arena_make_shared<PageBytes>(*st.payload);
     ++cow_clones_;
   }
   std::copy(data.begin(), data.end(), st.payload->begin() + offset);
   bool fault = false;
-  if (tracking_) fault = dirty_.insert(page).second;
+  if (tracking_) fault = mark_dirty(page, st);
   return fault;
 }
 
@@ -122,16 +134,18 @@ void AddressSpace::install_content(PageNum page, PagePayload data) {
   // write() guarantees the adopted bytes are never modified while any other
   // holder (image, page store) keeps its handle.
   st.payload = std::const_pointer_cast<PageBytes>(data);
-  if (tracking_) dirty_.insert(page);
+  if (tracking_) mark_dirty(page, st);
 }
 
 void AddressSpace::clear_soft_dirty() {
   tracking_ = true;
+  for (const DirtyRef& d : dirty_) d.state->dirty = false;
   dirty_.clear();
 }
 
 void AddressSpace::disable_tracking() {
   tracking_ = false;
+  for (const DirtyRef& d : dirty_) d.state->dirty = false;
   dirty_.clear();
 }
 

@@ -27,16 +27,19 @@
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "kernel/ids.hpp"
+#include "util/arena.hpp"
 #include "util/bytes.hpp"
 
 namespace nlc::kern {
 
-/// One page's content bytes (always kPageSize once materialized).
-using PageBytes = std::vector<std::byte>;
+/// One page's content bytes (always kPageSize once materialized). The
+/// buffer rides the slab arena (util/arena.hpp, DESIGN.md §12): every
+/// materialization and COW clone pulls a recycled 4 KiB block from the
+/// allocating thread's cache instead of the heap.
+using PageBytes = std::vector<std::byte, util::ArenaAllocator<std::byte>>;
 /// Immutable shared handle to a page payload; the unit the checkpoint
 /// pipeline passes instead of copies. Null for accounting pages.
 using PagePayload = std::shared_ptr<const PageBytes>;
@@ -69,6 +72,17 @@ class AddressSpace {
   struct PageState {
     std::uint64_t version = 0;
     std::shared_ptr<PageBytes> payload;  // null for accounting pages
+    /// Soft-dirty bit; mirrored by an entry in the contiguous dirty list.
+    bool dirty = false;
+  };
+
+  /// One dirty-list entry: the page number plus a direct pointer to its
+  /// resident state (stable: the page map is node-based). The harvest fill
+  /// walks this contiguous vector linearly — no per-page hash probe, and
+  /// the next entries are prefetchable (DESIGN.md §12).
+  struct DirtyRef {
+    PageNum page = 0;
+    PageState* state = nullptr;
   };
 
   /// Maps a new VMA of `npages`; returns its descriptor. Page numbers are
@@ -135,9 +149,11 @@ class AddressSpace {
 
   bool tracking() const { return tracking_; }
 
-  /// Pages dirtied since the last clear_soft_dirty(). Sorted copies are the
-  /// caller's job; iteration order is unspecified.
-  const std::unordered_set<PageNum>& dirty_pages() const { return dirty_; }
+  /// Pages dirtied since the last clear_soft_dirty(), in dirtying order
+  /// (each page once). Sorted copies are the caller's job. The entries
+  /// carry the page-state pointer so the harvest fill is one linear scan
+  /// over this vector instead of a hash probe per page.
+  const std::vector<DirtyRef>& dirty_pages() const { return dirty_; }
 
   /// All resident pages (ever touched/written); iteration order is
   /// unspecified. Full dumps walk this instead of probing every page of
@@ -155,13 +171,16 @@ class AddressSpace {
 
  private:
   void check_mapped(PageNum page) const;
+  /// Appends `page` to the dirty list iff not already there; returns true
+  /// on the clean->dirty transition (a soft-dirty write fault).
+  bool mark_dirty(PageNum page, PageState& st);
 
   std::vector<Vma> vmas_;
   std::uint64_t next_vma_id_ = 1;
   PageNum next_page_ = 0x1000;  // arbitrary non-zero base
   std::uint64_t mapped_pages_ = 0;
   bool tracking_ = false;
-  std::unordered_set<PageNum> dirty_;
+  std::vector<DirtyRef> dirty_;
   std::unordered_map<PageNum, PageState> pages_;
   std::uint64_t cow_clones_ = 0;
 };

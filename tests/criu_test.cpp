@@ -9,6 +9,7 @@
 #include "criu/pagestore.hpp"
 #include "criu/restore.hpp"
 #include "net/network.hpp"
+#include "util/arena.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulation.hpp"
 
@@ -76,7 +77,7 @@ TYPED_TEST(PageStoreTypedTest, AllPagesReturnsLatestVersions) {
 TYPED_TEST(PageStoreTypedTest, ContentPreserved) {
   this->store_.begin_checkpoint(1);
   PageRecord r = rec(5);
-  r.content = std::make_shared<kern::PageBytes>(kPageSize, std::byte{0x7F});
+  r.content = util::arena_make_shared<kern::PageBytes>(kPageSize, std::byte{0x7F});
   this->store_.store(r);
   const PageRecord* back = this->store_.lookup(5);
   ASSERT_TRUE(back->has_content());

@@ -24,6 +24,7 @@
 #include "net/network.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulation.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 #include "util/worker_pool.hpp"
 
@@ -175,7 +176,7 @@ TEST(DeltaKernelTest, NoReferenceIsRawInBothKernels) {
 // reference codec computes by scanning the identical bytes.
 TEST(DeltaKernelTest, IdentityShortCircuitMatchesReferenceCodec) {
   Rng rng(0xD157'0004);
-  auto payload = std::make_shared<kern::PageBytes>(random_page(rng));
+  auto payload = util::arena_make_shared<kern::PageBytes>(random_page(rng));
 
   auto make_image = [&](std::uint64_t epoch) {
     criu::CheckpointImage img;

@@ -60,6 +60,15 @@ scan 'std::thread|std::jthread' \
     'raw std::thread — use util::WorkerPool (src/util/worker_pool.hpp)' \
     '//|worker_pool|hardware_concurrency'
 
+# Per-page heap traffic: payload buffers and radix-store nodes allocate
+# from the slab arena (DESIGN.md §12) — util::arena_make_shared for
+# refcounted payloads, ArenaAllocator-backed containers for nodes. A plain
+# make_shared/make_unique of these types reintroduces one general-purpose
+# heap hit per page on the epoch hot path.
+scan '(^|[^_[:alnum:]])(make_shared|make_unique)<[[:space:]]*(kern::)?(PageBytes|Node)[>[:space:]]' \
+    'raw payload/node heap allocation — use util::arena_make_shared (src/util/arena.hpp)' \
+    '//|^src/util/arena\.hpp'
+
 # Raw wall-clock reads: all wall time flows through util::wall_now_ns() so
 # flight-recorder stamps and ShardStageNanos share one clock domain
 # (src/util/time.hpp is the single allowed steady_clock site).
