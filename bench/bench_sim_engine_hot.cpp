@@ -99,6 +99,7 @@ Score run_timers(int chains, long long links) {
     long long left;
     void fire() {
       if (--left <= 0) return;
+      // NLC_LINT_OK(detached-this): chains outlive the run() below
       sim->call_after(nlc::microseconds(1), [this] { fire(); });
     }
   };

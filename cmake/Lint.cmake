@@ -1,23 +1,29 @@
-# `lint` target: repo conventions (tools/lint.sh) plus clang-tidy when the
-# toolchain provides it. lint.sh always runs; clang-tidy is optional because
-# gcc-only containers are a supported build environment — the .clang-tidy
-# config at the repo root is still the source of truth for the check set.
+# `lint` target: the nlc_lint static analyzer (tools/nlc_lint, DESIGN.md
+# §13) over the whole tree, plus clang-tidy when the toolchain provides it.
+# tools/lint.sh is a thin wrapper that builds and invokes the same binary.
+# The analyzer also runs as a ctest test labeled "lint" (see tools/
+# CMakeLists.txt) so `ctest --output-on-failure -j` fails on any new
+# finding; the JSON artifact lands in ${CMAKE_BINARY_DIR}/nlc_lint.json for
+# tooling.
 find_program(NLC_CLANG_TIDY clang-tidy)
 
 if(NLC_CLANG_TIDY)
   # clang-tidy reads compile commands from the build tree.
   set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
   add_custom_target(lint
-    COMMAND ${CMAKE_SOURCE_DIR}/tools/lint.sh
+    COMMAND $<TARGET_FILE:nlc_lint> --root ${CMAKE_SOURCE_DIR}
+            --json-out ${CMAKE_BINARY_DIR}/nlc_lint.json
     COMMAND sh -c
       "find '${CMAKE_SOURCE_DIR}/src' -name '*.cpp' | xargs '${NLC_CLANG_TIDY}' -p '${CMAKE_BINARY_DIR}' --quiet"
     WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
-    COMMENT "lint.sh + clang-tidy"
+    COMMENT "nlc_lint + clang-tidy"
     VERBATIM)
 else()
   add_custom_target(lint
-    COMMAND ${CMAKE_SOURCE_DIR}/tools/lint.sh
+    COMMAND $<TARGET_FILE:nlc_lint> --root ${CMAKE_SOURCE_DIR}
+            --json-out ${CMAKE_BINARY_DIR}/nlc_lint.json
     WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
-    COMMENT "lint.sh (clang-tidy not found; conventions only)"
+    COMMENT "nlc_lint (clang-tidy not found; analyzer only)"
     VERBATIM)
 endif()
+add_dependencies(lint nlc_lint)

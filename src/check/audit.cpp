@@ -1,6 +1,8 @@
 #include "check/audit.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "kernel/kernel.hpp"
 #include "kernel/process.hpp"
@@ -32,6 +34,7 @@ void InvariantAuditor::attach() {
   cluster_->backup_agent->set_audit_hooks(this);
   cluster_->drbd_backup->set_observer(this);
   if (level_ == core::AuditLevel::kContinuous) {
+    // NLC_LINT_OK(detached-this): detach() clears the probe in ~auditor
     cluster_->sim.set_audit_probe([this] { sweep(); }, kProbeEveryEvents);
   }
   attached_ = true;
@@ -157,7 +160,20 @@ void InvariantAuditor::on_recovered(std::uint64_t committed_epoch) {
   const criu::PageStore& store = cluster_->backup_agent->page_store();
   for (const kern::Process* p :
        std::as_const(*cluster_->backup_kernel).container_processes(cid_)) {
-    for (const auto& [page, state] : p->mm().page_states()) {
+    // Walk pages in ascending page-number order, not hash order: when more
+    // than one page diverges, the report (and the failing-check identity a
+    // negative test asserts on) must not depend on allocation addresses.
+    std::vector<std::pair<kern::PageNum, const kern::AddressSpace::PageState*>>
+        resident;
+    resident.reserve(p->mm().page_states().size());
+    // NLC_LINT_OK(unordered-iter): hash-order collection; sorted below
+    for (const auto& [pg, st] : p->mm().page_states()) {
+      resident.emplace_back(pg, &st);
+    }
+    std::sort(resident.begin(), resident.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [page, state_ptr] : resident) {
+      const kern::AddressSpace::PageState& state = *state_ptr;
       if (!state.payload) continue;
       const criu::PageRecord* rec = store.lookup(page);
       NLC_CHECK_MSG(rec != nullptr,

@@ -158,15 +158,20 @@ void PayloadFreezeGuard::pin(const kern::PagePayload& payload) {
   if (!payload) return;
   const kern::PageBytes* key = payload.get();
   auto [it, inserted] = entries_.try_emplace(key);
-  if (!inserted && !it->second.ref.expired()) return;  // already pinned
+  if (inserted) {
+    // May momentarily duplicate a stale key left behind by verify_entry's
+    // erase (allocator address reuse); compact_order() dedupes.
+    order_.push_back(key);
+  } else if (!it->second.ref.expired()) {
+    return;  // already pinned
+  }
   // First sight — or the allocator reused the address of a retired payload.
   it->second.ref = payload;
   it->second.fingerprint = fnv1a_page(*payload);
   ++pins_;
 }
 
-void PayloadFreezeGuard::verify_entry(
-    std::unordered_map<const kern::PageBytes*, Entry>::iterator it) {
+void PayloadFreezeGuard::verify_entry(EntryMap::iterator it) {
   std::shared_ptr<const kern::PageBytes> live = it->second.ref.lock();
   if (!live) {
     // Every pipeline stage dropped its handle; the payload may be gone.
@@ -179,24 +184,42 @@ void PayloadFreezeGuard::verify_entry(
   ++verifications_;
 }
 
-void PayloadFreezeGuard::verify_all() {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    verify_entry(it++);
+void PayloadFreezeGuard::compact_order() {
+  std::vector<const kern::PageBytes*> live;
+  live.reserve(entries_.size());
+  for (const kern::PageBytes* key : order_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.seen_in_compaction) continue;
+    it->second.seen_in_compaction = true;
+    live.push_back(key);
   }
-  cycle_.clear();
+  for (const kern::PageBytes* key : live) {
+    entries_.find(key)->second.seen_in_compaction = false;
+  }
+  order_ = std::move(live);
+}
+
+void PayloadFreezeGuard::verify_all() {
+  // Walk the pin-order list, never the hash map: with pointer keys, map
+  // order follows allocation addresses and would make the point at which a
+  // corruption check fires (and which of several corruptions reports
+  // first) differ run to run.
+  compact_order();  // first: dedupe, so each live entry verifies once
+  for (const kern::PageBytes* key : order_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) verify_entry(it);
+  }
   cycle_pos_ = 0;
 }
 
 void PayloadFreezeGuard::verify_budget(std::uint64_t budget) {
   for (std::uint64_t done = 0; done < budget; ++done) {
-    if (cycle_pos_ >= cycle_.size()) {
-      cycle_.clear();
+    if (cycle_pos_ >= order_.size()) {
+      compact_order();
       cycle_pos_ = 0;
-      cycle_.reserve(entries_.size());
-      for (const auto& [key, entry] : entries_) cycle_.push_back(key);
-      if (cycle_.empty()) return;
+      if (order_.empty()) return;
     }
-    auto it = entries_.find(cycle_[cycle_pos_++]);
+    auto it = entries_.find(order_[cycle_pos_++]);
     if (it != entries_.end()) verify_entry(it);
   }
 }

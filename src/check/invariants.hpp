@@ -150,16 +150,27 @@ class PayloadFreezeGuard {
   struct Entry {
     std::weak_ptr<const kern::PageBytes> ref;
     std::uint64_t fingerprint = 0;
+    bool seen_in_compaction = false;  // scratch for order_ deduplication
   };
-  void verify_entry(
-      std::unordered_map<const kern::PageBytes*, Entry>::iterator it);
-
   // Keyed by payload identity: one page can have several generations of
-  // payloads alive at once (image, store, delta reference).
-  std::unordered_map<const kern::PageBytes*, Entry> entries_;
-  /// Rotation cursor for verify_budget(): keys drained front to back, then
-  /// refilled from the live map.
-  std::vector<const kern::PageBytes*> cycle_;
+  // payloads alive at once (image, store, delta reference). Identity
+  // lookups only — every iteration order the guard exposes (verify_all,
+  // the verify_budget rotation) walks order_, the pin-order key list, so
+  // verification order never depends on allocation addresses.
+  // NLC_LINT_OK(ptr-key): identity-lookup map; iteration goes via order_
+  using EntryMap = std::unordered_map<const kern::PageBytes*, Entry>;
+  void verify_entry(EntryMap::iterator it);
+  /// Drops stale/duplicate keys from order_ (entries erased by
+  /// verify_entry leave their key behind; allocator address reuse can
+  /// re-add one). Keeps first-pin order.
+  void compact_order();
+
+  EntryMap entries_;
+  /// Keys in first-pin order; superset of entries_' keys between
+  /// compactions. The single source of iteration order.
+  std::vector<const kern::PageBytes*> order_;
+  /// Rotation cursor for verify_budget(): order_ position drained across
+  /// budgeted sweeps, refreshed by compact_order() on wrap.
   std::size_t cycle_pos_ = 0;
   std::uint64_t pins_ = 0;
   std::uint64_t verifications_ = 0;

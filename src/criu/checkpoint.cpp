@@ -226,6 +226,7 @@ HarvestResult CheckpointEngine::harvest(kern::ContainerId cid,
       std::vector<std::pair<kern::PageNum, const kern::AddressSpace::PageState*>>
           resident;
       resident.reserve(states.size());
+      // NLC_LINT_OK(unordered-iter): hash-order collection; sorted below
       for (const auto& [pg, st] : states) resident.emplace_back(pg, &st);
       std::sort(resident.begin(), resident.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });

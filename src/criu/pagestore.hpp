@@ -10,6 +10,7 @@
 // charge simulated time per visit.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
@@ -91,8 +92,17 @@ class ListPageStore final : public PageStore {
   std::vector<const PageRecord*> all_pages() const override {
     std::vector<const PageRecord*> out;
     for (const auto& d : dirs_) {
+      // NLC_LINT_OK(unordered-iter): hash-order collection; sorted below
       for (const auto& [num, rec] : d.pages) out.push_back(&rec);
     }
+    // A page lives in at most one directory, so sorting by page number
+    // yields one globally ascending walk — the same order RadixPageStore
+    // produces — instead of leaking the hash order to restore and to every
+    // store-equivalence mirror.
+    std::sort(out.begin(), out.end(),
+              [](const PageRecord* a, const PageRecord* b) {
+                return a->page < b->page;
+              });
     return out;
   }
 

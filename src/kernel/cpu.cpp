@@ -32,6 +32,9 @@ void CpuSet::start_slice(SliceIter it) {
   it->started = sim_->now();
   ++running_;
   Time remaining = it->remaining;
+  // The slice owns its timer handle (cancelled on freeze/teardown) and the
+  // domain gate discards post-kill wakeups.
+  // NLC_LINT_OK(detached-this): timer handle owned and cancelled
   it->timer = sim_->call_after(remaining, domain_, [this, it] {
     usage_ += it->remaining;
     it->remaining = 0;

@@ -443,6 +443,10 @@ void TcpStack::promote_syn_rcvd(Socket& s) {
 void TcpStack::arm_retransmit(Socket& s) {
   if (s.retrans_timer.active()) return;
   SocketId id = s.id;
+  // The socket owns its retrans_timer handle (cancelled with it), the
+  // callback re-resolves the socket by id, and the domain gate drops the
+  // wakeup after a host kill.
+  // NLC_LINT_OK(detached-this): timer handle owned and cancelled, id-keyed
   s.retrans_timer = sim_->call_after(s.rto, domain_, [this, id] {
     auto it = sockets_.find(id);
     if (it == sockets_.end()) return;

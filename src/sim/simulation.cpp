@@ -77,12 +77,20 @@ void Simulation::spawn(DomainPtr domain, task<> t) {
 }
 
 void Simulation::register_root(std::coroutine_handle<> h) {
-  live_roots_.insert(h.address());
+  root_index_.emplace(h.address(), live_roots_.size());
+  live_roots_.push_back(h.address());
 }
 
 void Simulation::unregister_root(std::coroutine_handle<> h) {
   if (tearing_down_) return;  // container is being drained by shutdown()
-  live_roots_.erase(h.address());
+  auto it = root_index_.find(h.address());
+  if (it == root_index_.end()) return;
+  const std::size_t idx = it->second;
+  void* const last = live_roots_.back();
+  live_roots_[idx] = last;
+  live_roots_.pop_back();
+  if (last != h.address()) root_index_.find(last)->second = idx;
+  root_index_.erase(it);
 }
 
 void Simulation::record_exception(std::exception_ptr e) {
@@ -201,8 +209,10 @@ void Simulation::shutdown() {
   // primitives (all still alive at this point by the documented ownership
   // convention: Simulation members are declared before the components its
   // coroutines reference, or shutdown() is called explicitly first).
+  // Registration order: deterministic, unlike the frame addresses.
   auto roots = std::move(live_roots_);
   live_roots_.clear();
+  root_index_.clear();
   for (void* addr : roots) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }

@@ -19,7 +19,7 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -291,7 +291,14 @@ class Simulation {
   // popped first.
   std::vector<QueueEntry> now_queue_;
   std::size_t now_head_ = 0;
-  std::unordered_set<void*> live_roots_;
+  // Live root coroutine frames in registration order (perturbed only by
+  // the deterministic swap-erase in unregister_root), so shutdown()
+  // destroys frames — and runs their destructor side effects — in an order
+  // that never depends on frame allocation addresses. The index map exists
+  // for O(1) identity lookup only; nothing ever iterates it.
+  // NLC_LINT_OK(ptr-key): identity-lookup index; iteration uses live_roots_
+  std::unordered_map<void*, std::size_t> root_index_;
+  std::vector<void*> live_roots_;
 };
 
 }  // namespace nlc::sim

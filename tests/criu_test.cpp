@@ -74,6 +74,50 @@ TYPED_TEST(PageStoreTypedTest, AllPagesReturnsLatestVersions) {
   }
 }
 
+// Restore and the store-equivalence audits walk all_pages(); its order must
+// be a function of the committed pages alone — globally ascending by page
+// number for both stores — never of hash-bucket layout or insertion order.
+// Regression: ListPageStore used to leak per-directory hash order here.
+TYPED_TEST(PageStoreTypedTest, AllPagesIsAscendingByPageNumber) {
+  // Scattered, insertion-order-hostile page numbers across 4 checkpoints.
+  for (std::uint64_t ck = 0; ck < 4; ++ck) {
+    this->store_.begin_checkpoint(ck + 1);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const kern::PageNum p = (ck * 64 + i) * 2654435761ull % 100003ull;
+      this->store_.store(rec(p, ck + 1));
+    }
+  }
+  auto all = this->store_.all_pages();
+  ASSERT_EQ(all.size(), this->store_.page_count());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->page, all[i]->page) << "at index " << i;
+  }
+}
+
+// The two Table I ablation stores must expose identical page walks for the
+// same committed state, so restore and the equivalence mirror cannot tell
+// them apart.
+TEST(PageStoreTest, ListAndRadixAgreeOnAllPagesOrder) {
+  ListPageStore list;
+  RadixPageStore radix;
+  for (std::uint64_t ck = 0; ck < 3; ++ck) {
+    list.begin_checkpoint(ck + 1);
+    radix.begin_checkpoint(ck + 1);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      PageRecord r = rec((ck * 100 + i) * 7919ull % 4096ull, ck + 1);
+      list.store(r);
+      radix.store(r);
+    }
+  }
+  auto lp = list.all_pages();
+  auto rp = radix.all_pages();
+  ASSERT_EQ(lp.size(), rp.size());
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_EQ(lp[i]->page, rp[i]->page) << "at index " << i;
+    EXPECT_EQ(lp[i]->version, rp[i]->version) << "at index " << i;
+  }
+}
+
 TYPED_TEST(PageStoreTypedTest, ContentPreserved) {
   this->store_.begin_checkpoint(1);
   PageRecord r = rec(5);

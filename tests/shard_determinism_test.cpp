@@ -36,6 +36,7 @@ namespace {
 TEST(WorkerPoolTest, CoversEveryIndexExactlyOnce) {
   util::WorkerPool pool(3);
   constexpr std::size_t kN = 1000;
+  // NLC_LINT_OK(concurrency-owner): exercises WorkerPool cross-thread
   std::vector<std::atomic<int>> hits(kN);
   pool.run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
@@ -65,6 +66,7 @@ TEST(WorkerPoolTest, NestedRunExecutesInline) {
   // "Outermost fan-out wins": a run() issued from inside a running task of
   // the same pool must not deadlock or oversubscribe — it executes inline.
   util::WorkerPool pool(2);
+  // NLC_LINT_OK(concurrency-owner): exercises nested-pool concurrency
   std::atomic<int> inner_total{0};
   pool.run(4, [&](std::size_t) {
     pool.run(8, [&](std::size_t) { inner_total.fetch_add(1); });
@@ -78,13 +80,16 @@ TEST(WorkerPoolTest, ConcurrentCallersBothComplete) {
   // exact coverage.
   util::WorkerPool pool(2);
   auto batch = [&pool]() {
+    // NLC_LINT_OK(concurrency-owner): exercises concurrent pool use
     std::vector<std::atomic<int>> hits(256);
     pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
     int total = 0;
     for (auto& h : hits) total += h.load();
     return total;
   };
+  // NLC_LINT_OK(concurrency-owner): two racing batches, on purpose
   auto f1 = std::async(std::launch::async, batch);
+  // NLC_LINT_OK(concurrency-owner): two racing batches, on purpose
   auto f2 = std::async(std::launch::async, batch);
   EXPECT_EQ(f1.get(), 256);
   EXPECT_EQ(f2.get(), 256);

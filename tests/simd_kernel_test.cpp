@@ -379,6 +379,7 @@ TEST(ArenaTest, BlocksFlowAcrossThreads) {
   // Run under tsan/asan this doubles as the arena's race/leak check.
   for (int round = 0; round < 4; ++round) {
     std::vector<kern::PagePayload> from_worker =
+        // NLC_LINT_OK(concurrency-owner): cross-thread arena free, on purpose
         std::async(std::launch::async, [] {
           std::vector<kern::PagePayload> out;
           for (int i = 0; i < 128; ++i) {
@@ -396,6 +397,7 @@ TEST(ArenaTest, BlocksFlowAcrossThreads) {
       local.push_back(
           util::arena_make_shared<kern::PageBytes>(kPageSize, std::byte{7}));
     }
+    // NLC_LINT_OK(concurrency-owner): cross-thread arena free, on purpose
     std::async(std::launch::async, [&from_worker, &local] {
       from_worker.clear();  // free worker-allocated blocks here
       local.clear();        // free main-allocated blocks here

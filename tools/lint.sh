@@ -1,82 +1,35 @@
 #!/bin/sh
-# Repository lint: enforces the invariant-checking and ownership conventions
-# that the sanitizer/audit pipeline relies on.
+# Thin wrapper over the nlc_lint static analyzer (tools/nlc_lint,
+# DESIGN.md §13), which replaced the grep-based conventions check.
+# Prefers an already-built binary from a build tree; otherwise compiles the
+# analyzer directly (it is three small files with no dependencies).
 #
-#   * no raw assert()/cassert — invariants must throw nlc::InvariantError
-#     via NLC_CHECK/NLC_CHECK_MSG so they fire in every build type and are
-#     catchable by the audit drivers and negative tests;
-#   * no naked new/delete — ownership goes through smart pointers, so ASan
-#     leak reports stay actionable.
-#
-# Exits non-zero with the offending lines on a violation. Run directly or
-# via the `lint` CMake target (which also runs clang-tidy when available).
+# Usage: tools/lint.sh [nlc_lint args...]   (default: whole-tree scan)
 set -u
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-cd "$repo" || exit 2
 
-status=0
-
-# grep -n over the C++ sources; $1 = pattern, $2 = description, $3 = filter
-# regex removing allowed matches (applied with grep -v).
-scan() {
-    pattern=$1; what=$2; allow=$3
-    hits=$(find src tests tools bench examples -name '*.hpp' -o -name '*.cpp' \
-        | sort | xargs grep -nE "$pattern" 2>/dev/null \
-        | grep -vE "$allow")
-    if [ -n "$hits" ]; then
-        echo "lint: $what:" >&2
-        echo "$hits" >&2
-        status=1
+bin=""
+for d in build build-asan build-tsan; do
+    if [ -x "$repo/$d/tools/nlc_lint/nlc_lint" ]; then
+        bin="$repo/$d/tools/nlc_lint/nlc_lint"
+        break
     fi
-}
+done
 
-# Raw assert: matches assert( not preceded by an identifier character
-# (excludes static_assert and NLC_CHECK's own definition site).
-scan '(^|[^_[:alnum:]])assert[[:space:]]*\(' \
-    'raw assert() — use NLC_CHECK/NLC_CHECK_MSG (util/assert.hpp)' \
-    'static_assert|//.*assert'
-
-scan '#[[:space:]]*include[[:space:]]*<cassert>|#[[:space:]]*include[[:space:]]*<assert\.h>' \
-    '<cassert> include — use util/assert.hpp' \
-    '^$'
-
-# Naked new: `new Type` outside a smart-pointer factory. Placement new and
-# comments mentioning "new" are allowed.
-scan '(^|[^_[:alnum:]])new[[:space:]]+[[:alnum:]_:]+' \
-    'naked new — use std::make_unique/std::make_shared' \
-    '//|make_unique|make_shared'
-
-scan '(^|[^_[:alnum:]])delete[[:space:]]+[[:alnum:]_]' \
-    'naked delete — owning raw pointers are banned' \
-    '//|= delete|delete\]'
-
-# Raw thread spawning: all fan-out goes through util::WorkerPool (or the
-# TrialRunner on top of it) so the nested-pool policy and the
-# deterministic-merge contract cannot be bypassed. hardware_concurrency
-# queries and the pool implementation itself are allowed; tests may use
-# std::async to exercise pool concurrency.
-scan 'std::thread|std::jthread' \
-    'raw std::thread — use util::WorkerPool (src/util/worker_pool.hpp)' \
-    '//|worker_pool|hardware_concurrency'
-
-# Per-page heap traffic: payload buffers and radix-store nodes allocate
-# from the slab arena (DESIGN.md §12) — util::arena_make_shared for
-# refcounted payloads, ArenaAllocator-backed containers for nodes. A plain
-# make_shared/make_unique of these types reintroduces one general-purpose
-# heap hit per page on the epoch hot path.
-scan '(^|[^_[:alnum:]])(make_shared|make_unique)<[[:space:]]*(kern::)?(PageBytes|Node)[>[:space:]]' \
-    'raw payload/node heap allocation — use util::arena_make_shared (src/util/arena.hpp)' \
-    '//|^src/util/arena\.hpp'
-
-# Raw wall-clock reads: all wall time flows through util::wall_now_ns() so
-# flight-recorder stamps and ShardStageNanos share one clock domain
-# (src/util/time.hpp is the single allowed steady_clock site).
-scan 'steady_clock' \
-    'raw steady_clock — use util::wall_now_ns() (src/util/time.hpp)' \
-    '^src/util/|//'
-
-if [ "$status" -eq 0 ]; then
-    echo "lint: OK"
+src="$repo/tools/nlc_lint"
+if [ -n "$bin" ]; then
+    # Rebuild if any analyzer source is newer than the cached binary.
+    for f in "$src"/*.cpp "$src"/*.hpp; do
+        if [ "$f" -nt "$bin" ]; then bin=""; break; fi
+    done
 fi
-exit "$status"
+
+if [ -z "$bin" ]; then
+    bin="${TMPDIR:-/tmp}/nlc_lint.$$"
+    trap 'rm -f "$bin"' EXIT
+    ${CXX:-c++} -std=c++20 -O1 -o "$bin" \
+        "$src/lexer.cpp" "$src/rules.cpp" "$src/main.cpp" || exit 2
+fi
+
+exec "$bin" --root "$repo" "$@"

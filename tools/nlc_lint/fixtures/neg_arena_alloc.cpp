@@ -1,0 +1,6 @@
+// Negative fixture: the arena seam, a non-payload allocation, suppression.
+#include <memory>
+auto f() { return util::arena_make_shared(); }
+auto g() { return std::make_shared<int>(7); }
+// NLC_LINT_OK(arena-alloc): fixture exercises the suppression path
+auto h() { return std::make_shared<PageBytes>(); }

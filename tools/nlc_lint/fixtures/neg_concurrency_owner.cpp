@@ -1,0 +1,6 @@
+// Negative fixture: pool-mediated fan-out plus a suppressed primitive.
+struct S {
+  util::WorkerPool pool;
+  // NLC_LINT_OK(concurrency-owner): fixture exercises the suppression path
+  std::atomic<int> refs{0};
+};

@@ -1,0 +1,9 @@
+// Negative fixture: owning-capture callback plus a suppressed `this`.
+struct S {
+  void arm(Sim& sim, std::shared_ptr<State> st) {
+    sim.call_after(10, [st] { st->tick(); });
+    // NLC_LINT_OK(detached-this): handle owned and cancelled; fixture
+    sim.call_after(10, [this] { tick(); });
+  }
+  void tick();
+};

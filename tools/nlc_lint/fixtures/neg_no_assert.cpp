@@ -1,0 +1,8 @@
+// Negative fixture: member-function assert, string mention, suppression.
+void g(Checker& c, int x) {
+  c.assert(x > 0);
+  const char* s = "assert(everything)";
+  // NLC_LINT_OK(no-assert): fixture exercises the suppression path
+  assert(x);
+  (void)s;
+}

@@ -1,0 +1,12 @@
+// Negative fixture: smart-pointer factory, deleted functions, placement
+// new, and a suppressed delete.
+#include <memory>
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+};
+void g(void* buf) {
+  auto p = std::make_unique<int>(7);
+  new (buf) int(3);
+  // NLC_LINT_OK(no-naked-new): fixture exercises the suppression path
+  delete static_cast<int*>(buf);
+}

@@ -1,0 +1,5 @@
+// Negative fixture: the one-clock seam plus a suppressed raw read.
+#include <chrono>
+// NLC_LINT_OK(no-raw-clock): fixture exercises the suppression path
+long g() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long h() { return wall_now_ns(); }

@@ -1,0 +1,7 @@
+// Negative fixture: capacity query is allowed; spawn is suppressed.
+#include <thread>
+unsigned g() {
+  return std::thread::hardware_concurrency();
+}
+// NLC_LINT_OK(no-raw-thread): fixture exercises the suppression path
+void h() { std::jthread t([] {}); }

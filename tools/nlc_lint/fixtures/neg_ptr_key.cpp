@@ -1,0 +1,9 @@
+// Negative fixture: id-keyed maps plus a suppressed identity-lookup index.
+#include <map>
+#include <unordered_map>
+struct S {
+  std::unordered_map<unsigned long, int> by_id;
+  std::map<PageNum, Record> by_page;
+  // NLC_LINT_OK(ptr-key): identity lookups only; fixture suppression
+  std::unordered_map<const Page*, int> index;
+};

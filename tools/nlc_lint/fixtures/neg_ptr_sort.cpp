@@ -1,0 +1,10 @@
+// Negative fixture: comparator-sorted pointers, a value sort, suppression.
+#include <algorithm>
+#include <vector>
+void g(std::vector<const Page*>& pages, std::vector<int>& vals) {
+  std::sort(pages.begin(), pages.end(),
+            [](const Page* a, const Page* b) { return a->id() < b->id(); });
+  std::sort(vals.begin(), vals.end());
+  // NLC_LINT_OK(ptr-sort): fixture exercises the suppression path
+  std::sort(pages.begin(), pages.end());
+}

@@ -1,0 +1,7 @@
+// Negative fixture: the seeded Rng seam, a member rand(), suppression.
+int g(nlc::Rng& rng, Dist& d) {
+  int a = d.rand();
+  // NLC_LINT_OK(raw-rand): fixture exercises the suppression path
+  int b = rand();
+  return a + b + static_cast<int>(rng.next());
+}

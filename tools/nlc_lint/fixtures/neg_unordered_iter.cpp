@@ -1,0 +1,24 @@
+// Negative fixture: order-independent accumulation over an unordered
+// container, an ordered-container walk, and a suppressed hash-order walk.
+#include <map>
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> table;
+  std::map<int, int> sorted;
+  long sum() const {
+    long acc = 0;
+    for (const auto& [k, v] : table) {
+      acc += v;
+    }
+    return acc;
+  }
+  void walk() {
+    for (const auto& [k, v] : sorted) {
+      emit(k, v);
+    }
+    // NLC_LINT_OK(unordered-iter): fixture exercises the suppression path
+    for (const auto& [k, v] : table) {
+      emit(k, v);
+    }
+  }
+};

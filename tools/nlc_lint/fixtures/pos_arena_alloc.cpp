@@ -1,0 +1,8 @@
+// Positive fixture: page payload / node allocated on the general heap.
+#include <memory>
+auto f() {
+  return std::make_shared<PageBytes>();
+}
+auto g() {
+  return std::make_unique<kern::Node>();
+}

@@ -1,0 +1,7 @@
+// Positive fixture: synchronization primitives outside the owning modules.
+#include <atomic>
+#include <mutex>
+struct S {
+  std::mutex mu;
+  std::atomic<int> refs{0};
+};

@@ -1,0 +1,7 @@
+// Positive fixture: `this` captured into a detached-queue callback.
+struct S {
+  void arm(Sim& sim) {
+    sim.call_after(10, [this] { tick(); });
+  }
+  void tick();
+};

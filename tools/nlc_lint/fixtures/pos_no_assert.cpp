@@ -1,0 +1,6 @@
+// Positive fixture: raw assert() and the <cassert> include.
+#include <cassert>
+
+void f(int x) {
+  assert(x > 0);
+}

@@ -1,0 +1,6 @@
+// Positive fixture: naked new and naked delete.
+int* f() {
+  int* p = new int(7);
+  delete p;
+  return nullptr;
+}

@@ -1,0 +1,5 @@
+// Positive fixture: raw steady_clock read outside src/util/.
+#include <chrono>
+long f() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Positive fixture: raw std::thread spawn.
+#include <thread>
+void f() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,7 @@
+// Positive fixture: pointer-keyed associative containers.
+#include <set>
+#include <unordered_map>
+struct S {
+  std::unordered_map<const Page*, int> refs;
+  std::set<Node*> live;
+};

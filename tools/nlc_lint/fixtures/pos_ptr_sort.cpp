@@ -1,0 +1,6 @@
+// Positive fixture: sorting raw pointers by their addresses.
+#include <algorithm>
+#include <vector>
+void f(std::vector<const Page*>& pages) {
+  std::sort(pages.begin(), pages.end());
+}

@@ -1,0 +1,6 @@
+// Positive fixture: raw rand(), random_device entropy, bare engine.
+#include <random>
+int f() {
+  std::mt19937 gen(std::random_device{}());
+  return rand();
+}

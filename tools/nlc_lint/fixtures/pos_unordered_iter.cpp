@@ -1,0 +1,19 @@
+// Positive fixture: order-dependent walks over an unordered container —
+// a range-for with an emitting body and an explicit iterator loop.
+#include <unordered_map>
+#include <vector>
+struct S {
+  std::unordered_map<int, int> table;
+  std::vector<int> out;
+  void emit() {
+    for (const auto& [k, v] : table) {
+      out.push_back(v);
+    }
+  }
+  int first() {
+    for (auto it = table.begin(); it != table.end(); ++it) {
+      return it->second;
+    }
+    return 0;
+  }
+};

@@ -1,0 +1,261 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace nlc::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char take() {
+    char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from, std::size_t to) const {
+    return src_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Consumes a quoted literal body after the opening quote, honouring escapes.
+void skip_quoted(Cursor& c, char quote) {
+  while (!c.done()) {
+    char ch = c.take();
+    if (ch == '\\' && !c.done()) {
+      c.take();
+      continue;
+    }
+    if (ch == quote || ch == '\n') return;  // newline: unterminated literal
+  }
+}
+
+// Consumes R"delim( ... )delim" after the opening R" has been taken.
+void skip_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.done() && c.peek() != '(') delim.push_back(c.take());
+  if (c.done()) return;
+  c.take();  // '('
+  const std::string close = ")" + delim + "\"";
+  std::string window;
+  while (!c.done()) {
+    window.push_back(c.take());
+    if (window.size() > close.size()) window.erase(window.begin());
+    if (window == close) return;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  Cursor c(src);
+  while (!c.done()) {
+    char ch = c.peek();
+    int line = c.line();
+
+    if (ch == '\n' || ch == ' ' || ch == '\t' || ch == '\r' || ch == '\f' ||
+        ch == '\v') {
+      c.take();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first non-whitespace on a line. The lexer
+    // hands the whole (continuation-joined) line to the directive list; its
+    // tokens never enter the main stream.
+    if (ch == '#') {
+      std::string text;
+      while (!c.done()) {
+        char d = c.take();
+        if (d == '\\' && c.peek() == '\n') {
+          c.take();
+          text.push_back(' ');
+          continue;
+        }
+        if (d == '\n') break;
+        // A // comment terminates the directive's interesting part.
+        if (d == '/' && c.peek() == '/') {
+          while (!c.done() && c.peek() != '\n') c.take();
+          break;
+        }
+        text.push_back(d);
+      }
+      out.directives.push_back(Directive{std::move(text), line});
+      continue;
+    }
+
+    if (ch == '/' && c.peek(1) == '/') {
+      c.take();
+      c.take();
+      std::string text;
+      while (!c.done() && c.peek() != '\n') text.push_back(c.take());
+      out.comments.push_back(Comment{std::move(text), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.take();
+      c.take();
+      std::string text;
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          c.take();
+          c.take();
+          break;
+        }
+        text.push_back(c.take());
+      }
+      out.comments.push_back(Comment{std::move(text), line});
+      continue;
+    }
+
+    if (ident_start(ch)) {
+      std::size_t start = c.pos();
+      while (!c.done() && ident_char(c.peek())) c.take();
+      std::string word(c.slice(start, c.pos()));
+      // String-literal prefixes: R"...", u8"...", L'...', etc.
+      bool raw = !word.empty() && word.back() == 'R' &&
+                 (word == "R" || word == "uR" || word == "UR" ||
+                  word == "LR" || word == "u8R") &&
+                 c.peek() == '"';
+      if (raw) {
+        c.take();  // '"'
+        skip_raw_string(c);
+        out.tokens.push_back(Token{TokKind::kString, "", line});
+        continue;
+      }
+      if ((word == "u8" || word == "u" || word == "U" || word == "L") &&
+          (c.peek() == '"' || c.peek() == '\'')) {
+        char q = c.take();
+        skip_quoted(c, q);
+        out.tokens.push_back(Token{
+            q == '"' ? TokKind::kString : TokKind::kChar, "", line});
+        continue;
+      }
+      out.tokens.push_back(Token{TokKind::kIdent, std::move(word), line});
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      std::size_t start = c.pos();
+      c.take();
+      while (!c.done()) {
+        char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          c.take();
+        } else if ((d == '+' || d == '-') && !c.done()) {
+          char prev = src[c.pos() - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.take();
+          } else {
+            break;
+          }
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          Token{TokKind::kNumber, std::string(c.slice(start, c.pos())), line});
+      continue;
+    }
+
+    if (ch == '"') {
+      c.take();
+      std::size_t start = c.pos();
+      skip_quoted(c, '"');
+      std::size_t end = c.pos() > start ? c.pos() - 1 : start;
+      out.tokens.push_back(
+          Token{TokKind::kString, std::string(c.slice(start, end)), line});
+      continue;
+    }
+    if (ch == '\'') {
+      c.take();
+      skip_quoted(c, '\'');
+      out.tokens.push_back(Token{TokKind::kChar, "", line});
+      continue;
+    }
+
+    // Punctuation. Fused pairs: qualified-name and member-access tokens
+    // (:: ->), comparisons and compound assignments (so a bare `=` token
+    // reliably means plain assignment), and ++/--/&&/||. << and >> stay
+    // unfused so template argument scanning needs no >> special case.
+    c.take();
+    char next = c.peek();
+    auto fuse = [&](const char* tok) {
+      c.take();
+      out.tokens.push_back(Token{TokKind::kPunct, tok, line});
+    };
+    switch (ch) {
+      case ':':
+        if (next == ':') { fuse("::"); continue; }
+        break;
+      case '-':
+        if (next == '>') { fuse("->"); continue; }
+        if (next == '-') { fuse("--"); continue; }
+        if (next == '=') { fuse("-="); continue; }
+        break;
+      case '+':
+        if (next == '+') { fuse("++"); continue; }
+        if (next == '=') { fuse("+="); continue; }
+        break;
+      case '&':
+        if (next == '&') { fuse("&&"); continue; }
+        if (next == '=') { fuse("&="); continue; }
+        break;
+      case '|':
+        if (next == '|') { fuse("||"); continue; }
+        if (next == '=') { fuse("|="); continue; }
+        break;
+      case '=':
+        if (next == '=') { fuse("=="); continue; }
+        break;
+      case '!':
+        if (next == '=') { fuse("!="); continue; }
+        break;
+      case '<':
+        if (next == '=') { fuse("<="); continue; }
+        break;
+      case '>':
+        if (next == '=') { fuse(">="); continue; }
+        break;
+      case '*':
+        if (next == '=') { fuse("*="); continue; }
+        break;
+      case '/':
+        if (next == '=') { fuse("/="); continue; }
+        break;
+      case '%':
+        if (next == '=') { fuse("%="); continue; }
+        break;
+      case '^':
+        if (next == '=') { fuse("^="); continue; }
+        break;
+      default:
+        break;
+    }
+    out.tokens.push_back(Token{TokKind::kPunct, std::string(1, ch), line});
+  }
+  return out;
+}
+
+}  // namespace nlc::lint

@@ -1,0 +1,55 @@
+// nlc_lint lexer: a minimal, correct C++ tokenizer for static analysis.
+//
+// Unlike the grep-based lint it replaces, this lexer understands the three
+// contexts that made regexes lie: comments (line and block), string/char
+// literals (including raw strings and escape sequences), and preprocessor
+// directives (including line continuations). Tokens carry 1-based line
+// numbers so findings are clickable; comments and directives are captured
+// out-of-band because the suppression scanner and the include rules need
+// them, while the rule engine walks the clean token stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nlc::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (C++ keywords are not special-cased)
+  kNumber,  // numeric literal, including ' digit separators and suffixes
+  kString,  // "...", R"(...)", L/u/U/u8 prefixed forms; text excludes quotes
+  kChar,    // '...'
+  kPunct,   // operators/punctuation; multi-char only for :: and ->
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+/// A // or /* */ comment, with the line its first character sits on.
+struct Comment {
+  std::string text;  // without the delimiters
+  int line;
+};
+
+/// One preprocessor directive, joined across backslash continuations.
+struct Directive {
+  std::string text;  // full directive text starting at '#'
+  int line;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+};
+
+/// Tokenizes `src`. Never fails: unterminated constructs lex to the end of
+/// the input (the rules only need a best-effort stream, not a diagnosis).
+LexedFile lex(std::string_view src);
+
+}  // namespace nlc::lint

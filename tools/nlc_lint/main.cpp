@@ -1,0 +1,207 @@
+// nlc_lint CLI: determinism/ownership static analysis over the repository
+// (DESIGN.md §13). Replaces the grep lint with a real lexer + rule engine.
+//
+//   nlc_lint --root <repo> [dirs...]      tree scan (default dirs: src
+//                                         tests bench tools examples)
+//   nlc_lint [--assume-test] <files...>   lint explicit files (fixtures)
+//   --json                                findings as JSON on stdout
+//   --json-out <file>                     also write the JSON artifact
+//   --list-rules                          print the rule catalog
+//
+// Exit status: 0 clean, 1 findings, 2 usage/io error. Suppress individual
+// findings with `// NLC_LINT_OK(<rule>): <reason>` on the same or the
+// preceding line.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using nlc::lint::AnalyzedFile;
+using nlc::lint::Finding;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Finding>& findings,
+                    const std::vector<Finding>& suppressed) {
+  std::ostringstream os;
+  os << "{\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "    {\"rule\": \"" << f.rule << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"message\": \"" << json_escape(f.message) << "\"}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"suppressed\": [\n";
+  for (std::size_t i = 0; i < suppressed.size(); ++i) {
+    const Finding& f = suppressed[i];
+    os << "    {\"rule\": \"" << f.rule << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"line\": " << f.line << "}"
+       << (i + 1 < suppressed.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"finding_count\": " << findings.size()
+     << ",\n  \"suppressed_count\": " << suppressed.size() << "\n}\n";
+  return os.str();
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool is_source(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".hpp";
+}
+
+/// Directories never scanned: test fixtures (deliberate violations) and
+/// golden data.
+bool skipped_dir(const fs::path& p) {
+  return p.filename() == "fixtures" || p.filename() == "data" ||
+         p.filename() == "build" || p.filename().string().rfind("build-", 0) == 0;
+}
+
+void collect_tree(const fs::path& dir, std::vector<fs::path>& out) {
+  if (!fs::exists(dir)) return;
+  for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+    if (it->is_directory() && skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && is_source(it->path())) out.push_back(it->path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool assume_test = false;
+  std::string json_out;
+  fs::path root;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--assume-test") {
+      assume_test = true;
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : nlc::lint::all_rules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nlc_lint [--json] [--json-out FILE] [--root DIR] "
+                   "[--assume-test] [--list-rules] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nlc_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  // Resolve the work list: explicit files, or a tree scan under --root.
+  std::vector<fs::path> files;
+  std::vector<std::string> rel;  // path strings the rules see
+  if (!root.empty()) {
+    std::vector<std::string> dirs =
+        paths.empty() ? std::vector<std::string>{"src", "tests", "bench",
+                                                 "tools", "examples"}
+                      : paths;
+    for (const std::string& d : dirs) collect_tree(root / d, files);
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) {
+      rel.push_back(fs::relative(f, root).generic_string());
+    }
+  } else {
+    for (const std::string& p : paths) files.emplace_back(p);
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) rel.push_back(f.generic_string());
+  }
+  if (files.empty()) {
+    std::cerr << "nlc_lint: no input files (pass --root <repo> or files)\n";
+    return 2;
+  }
+
+  std::vector<AnalyzedFile> units;
+  units.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::string src;
+    if (!read_file(files[i], src)) {
+      std::cerr << "nlc_lint: cannot read " << files[i] << "\n";
+      return 2;
+    }
+    AnalyzedFile u;
+    u.path = rel[i];
+    u.is_test = root.empty() ? assume_test
+                             : u.path.rfind("tests/", 0) == 0;
+    u.lex = nlc::lint::lex(src);
+    units.push_back(std::move(u));
+  }
+
+  nlc::lint::AnalysisResult res = nlc::lint::analyze(units);
+
+  std::string j = to_json(res.findings, res.suppressed);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "nlc_lint: cannot write " << json_out << "\n";
+      return 2;
+    }
+    out << j;
+  }
+  if (json) {
+    std::cout << j;
+  } else {
+    for (const Finding& f : res.findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    std::cout << "nlc_lint: " << units.size() << " files, "
+              << res.findings.size() << " finding"
+              << (res.findings.size() == 1 ? "" : "s") << ", "
+              << res.suppressed.size() << " suppressed\n";
+  }
+  return res.findings.empty() ? 0 : 1;
+}

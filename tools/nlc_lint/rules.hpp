@@ -1,0 +1,76 @@
+// nlc_lint rule engine: determinism/ownership rules over lexed token
+// streams (DESIGN.md §13).
+//
+// Analysis runs in two passes. Pass 1 walks every file and builds a
+// project-wide symbol table of declaration facts the rules need: which
+// names are declared as unordered containers (or aliases of them, or
+// functions returning references to them), which are declared as ordered
+// containers (for ambiguity resolution), and which are vectors of raw
+// pointers. Pass 2 walks each file's token stream and applies the rule
+// set; findings are filtered against `// NLC_LINT_OK(<rule>): <reason>`
+// suppression comments on the same or the preceding line.
+//
+// Name resolution is deliberately name-based, not type-checked: a name is
+// treated as unordered if this file declares it unordered, or if it is
+// declared unordered somewhere in the project and nowhere declared as an
+// ordered container (ambiguous names resolve only in their declaring
+// file). This keeps the analyzer to one pass over tokens while catching
+// the cross-file cases a grep cannot (e.g. iterating a function that
+// returns an unordered map declared in another header).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace nlc::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;  // path as given (repo-relative in tree scans)
+  int line;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+/// Declaration facts shared across translation units.
+struct SymbolTable {
+  std::set<std::string> unordered_names;  // vars/members/functions
+  std::set<std::string> unordered_aliases;
+  std::set<std::string> ordered_names;  // names also seen with ordered types
+  std::set<std::string> ptr_vector_names;
+};
+
+struct AnalyzedFile {
+  std::string path;
+  bool is_test = false;  // unordered-iter exempts test code
+  LexedFile lex;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;    // unsuppressed — these fail the build
+  std::vector<Finding> suppressed;  // matched an NLC_LINT_OK comment
+};
+
+/// All rule IDs, for --list-rules and fixture coverage checks.
+const std::vector<std::string>& all_rules();
+
+/// Pass 1 over one file: merge its declaration facts into `sym`.
+void collect_symbols(const AnalyzedFile& f, SymbolTable& sym);
+
+/// Pass 2 over one file: append findings (pre-suppression) for every rule.
+void run_rules(const AnalyzedFile& f, const SymbolTable& sym,
+               std::vector<Finding>& out);
+
+/// Full analysis: collect over all files, run rules, apply suppressions.
+AnalysisResult analyze(const std::vector<AnalyzedFile>& files);
+
+}  // namespace nlc::lint
