@@ -127,10 +127,17 @@ sim::task<> ServerApp::accept_loop(net::Endpoint ep) {
 void ServerApp::dirty_pages(const Region& r, std::uint64_t count, Rng& rng) {
   kern::Process* p = env_.kernel->process(r.pid);
   if (p == nullptr || r.npages == 0) return;
+  std::uint64_t fold = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     auto off = static_cast<std::uint64_t>(
         rng.uniform(0, static_cast<std::int64_t>(r.npages) - 1));
+    fold = splitmix64(fold ^ off);
     p->mm().touch(r.start + off);
+  }
+  // One log entry summarising the whole draw sequence: the fold pins the
+  // exact offsets without a per-page entry on the wire.
+  if (count > 0) {
+    if (kern::NondetSink* s = nondet_sink()) s->on_rng_draw(fold);
   }
 }
 
@@ -178,8 +185,13 @@ sim::task<> ServerApp::serve_one(
   }
   NLC_CHECK_MSG(heap != nullptr, "handler process lost its heap");
 
-  bool heavy = spec_.heavy_request_fraction > 0.0 &&
-               rng_.chance(spec_.heavy_request_fraction);
+  bool heavy = false;
+  if (spec_.heavy_request_fraction > 0.0) {
+    heavy = rng_.chance(spec_.heavy_request_fraction);
+    if (kern::NondetSink* s = nondet_sink()) {
+      s->on_rng_draw(heavy ? 1 : 0);
+    }
+  }
   double scale = heavy ? spec_.heavy_factor : 1.0;
   Time cpu = static_cast<Time>(static_cast<double>(spec_.service_cpu) *
                                scale * dilation_);
@@ -235,7 +247,15 @@ sim::task<> ServerApp::handler(kern::Pid pid, net::SocketId sock,
     co_await serve_one(pid, *request, &reply, &reply_len);
 
     // Commit point: drop the request from the (checkpointed) read queue
-    // and emit the response in the same quiescent step.
+    // and emit the response in the same quiescent step. The log entry
+    // pins this request's identity and consumption order (DESIGN.md §14).
+    if (kern::NondetSink* s = nondet_sink()) {
+      s->on_net_input(sock, request->tag,
+                      request->payload != nullptr
+                          ? kv_content_hash(request->payload->data(),
+                                            request->payload->size())
+                          : 0);
+    }
     env_.tcp->consume(sock);
     env_.tcp->send(sock, static_cast<std::uint32_t>(reply_len),
                    request->tag, std::move(reply));
@@ -250,15 +270,21 @@ sim::task<> ServerApp::keepalive_loop() {
   kern::Process& ka = env_.kernel->create_process(cid_, "keepalive");
   ka.mm().map(4, kern::VmaKind::kAnon);
   kern::Container* cont = env_.kernel->container(cid_);
+  std::uint64_t ticks = 0;
   while (true) {
     co_await env_.sim->sleep_for(30_ms);
+    if (kern::NondetSink* s = nondet_sink()) s->on_timer(0, ticks);
+    ++ticks;
     co_await cont->cpu().consume(nlc::nanoseconds(400));
   }
 }
 
 sim::task<> ServerApp::writeback_loop() {
+  std::uint64_t ticks = 0;
   while (true) {
     co_await env_.sim->sleep_for(100_ms);
+    if (kern::NondetSink* s = nondet_sink()) s->on_timer(1, ticks);
+    ++ticks;
     env_.kernel->fs().writeback(512);
   }
 }

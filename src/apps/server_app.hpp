@@ -81,6 +81,15 @@ class ServerApp {
   void dirty_pages(const Region& r, std::uint64_t count, Rng& rng);
   void attach_existing(kern::ContainerId cid);
 
+  /// The nondeterministic-event sink the replication layer installed on
+  /// the container (nullptr when unprotected or in epoch commit mode).
+  /// Recording only mirrors values the app already drew — it never
+  /// advances rng_ or changes any observable.
+  kern::NondetSink* nondet_sink() const {
+    kern::Container* c = env_.kernel->container(cid_);
+    return c != nullptr ? c->nondet_sink() : nullptr;
+  }
+
   AppEnv env_;
   AppSpec spec_;
   kern::ContainerId cid_ = kern::kNoContainer;

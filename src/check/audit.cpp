@@ -13,7 +13,8 @@ InvariantAuditor::InvariantAuditor(core::Cluster& cluster,
                                    kern::ContainerId cid,
                                    const core::Options& opts)
     : cluster_(&cluster), cid_(cid), level_(opts.audit_level),
-      delta_enabled_(opts.delta_compress_pages) {
+      delta_enabled_(opts.delta_compress_pages),
+      replay_mode_(opts.commit_mode == core::CommitMode::kReplay) {
   NLC_CHECK_MSG(level_ != core::AuditLevel::kOff,
                 "constructing an auditor with auditing off");
   NLC_CHECK_MSG(cluster.primary_agent != nullptr &&
@@ -61,6 +62,7 @@ AuditStats InvariantAuditor::stats() const {
   st.store_equivalence_checks = store_.checks();
   st.delta_replay_checks = delta_.checks();
   st.restore_equivalence_checks = restore_equiv_checks_;
+  st.replay_equivalence_checks = replay_.checks();
   st.sweeps = sweeps_;
   return st;
 }
@@ -103,6 +105,7 @@ void InvariantAuditor::on_state_ready(const core::EpochStateMsg& msg,
                 "audit: state message and image disagree on the epoch");
   NLC_CHECK_MSG(msg.image.full == initial,
                 "audit: only the initial synchronization ships a full image");
+  if (replay_mode_) replay_.checkpoint_stamped(msg.nd_entries, msg.nd_fp);
   if (level_ == core::AuditLevel::kContinuous) {
     // The payloads in this image must stay frozen from here through ship,
     // fold and store residency, no matter what the container writes next.
@@ -119,11 +122,32 @@ void InvariantAuditor::on_marker_inserted(std::uint64_t epoch,
 }
 
 void InvariantAuditor::on_ack_received(std::uint64_t epoch) {
-  occ_.ack_received(epoch);
+  // Replay mode commits output per log segment: the occ_ mirror runs on
+  // segment seq numbers, so epoch acks must not leak into it.
+  if (!replay_mode_) occ_.ack_received(epoch);
 }
 
 void InvariantAuditor::on_release(std::uint64_t epoch) {
   pending_release_epoch_ = epoch;
+}
+
+void InvariantAuditor::on_log_shipped(const core::LogSegmentMsg& seg,
+                                      std::uint64_t marker) {
+  NLC_CHECK_MSG(saw_plug_marker_ && marker == last_plug_marker_,
+                "audit: segment marker does not match the plug's last "
+                "marker");
+  // Segment seq plays the epoch role in the output-commit mirror: output
+  // up to this marker may leave only after this segment's ack.
+  occ_.marker_inserted(seg.seq, marker);
+  replay_.log_shipped(seg);
+}
+
+void InvariantAuditor::on_log_ack_received(std::uint64_t seq) {
+  occ_.ack_received(seq);
+}
+
+void InvariantAuditor::on_log_release(std::uint64_t seq) {
+  pending_release_epoch_ = seq;
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +165,7 @@ void InvariantAuditor::on_commit_begin(std::uint64_t epoch) {
 void InvariantAuditor::on_commit(const core::EpochStateMsg& msg) {
   store_.check(cluster_->backup_agent->page_store(), msg.image);
   epoch_.committed(msg.epoch);
+  if (replay_mode_) replay_.committed(msg.nd_entries, msg.nd_fp);
   if (level_ == core::AuditLevel::kContinuous) {
     // The fold copied shared handles; any mutation since harvest would
     // show here and in the budgeted re-fingerprint.
@@ -189,6 +214,16 @@ void InvariantAuditor::on_recovered(std::uint64_t committed_epoch) {
     }
   }
   if (level_ == core::AuditLevel::kContinuous) freeze_.verify_all();
+}
+
+void InvariantAuditor::on_log_ingested(const core::LogSegmentMsg& seg,
+                                       bool accepted) {
+  replay_.log_ingested(seg, accepted);
+}
+
+void InvariantAuditor::on_replayed(std::uint64_t final_fp,
+                                   std::uint64_t entries_replayed) {
+  replay_.replayed(final_fp, entries_replayed);
 }
 
 // ---------------------------------------------------------------------------

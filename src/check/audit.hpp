@@ -74,6 +74,10 @@ class InvariantAuditor final : public net::PlugObserver,
   void on_marker_inserted(std::uint64_t epoch, std::uint64_t marker) override;
   void on_ack_received(std::uint64_t epoch) override;
   void on_release(std::uint64_t epoch) override;
+  void on_log_shipped(const core::LogSegmentMsg& seg,
+                      std::uint64_t marker) override;
+  void on_log_ack_received(std::uint64_t seq) override;
+  void on_log_release(std::uint64_t seq) override;
 
   // core::BackupAuditHooks
   void on_ack_sent(std::uint64_t epoch, std::uint64_t last_barrier) override;
@@ -81,6 +85,9 @@ class InvariantAuditor final : public net::PlugObserver,
   void on_commit(const core::EpochStateMsg& msg) override;
   void on_recovery_started(std::uint64_t committed_epoch) override;
   void on_recovered(std::uint64_t committed_epoch) override;
+  void on_log_ingested(const core::LogSegmentMsg& seg, bool accepted) override;
+  void on_replayed(std::uint64_t final_fp,
+                   std::uint64_t entries_replayed) override;
 
   // blk::DrbdObserver
   void on_drbd_epoch_applied(std::uint64_t epoch,
@@ -104,6 +111,10 @@ class InvariantAuditor final : public net::PlugObserver,
   kern::ContainerId cid_;
   core::AuditLevel level_;
   bool delta_enabled_;
+  /// Replay commit mode: output commits per log segment, so occ_ runs on
+  /// segment seq numbers and epoch acks must stay out of it (the two
+  /// number spaces would interleave).
+  bool replay_mode_;
   net::PlugQdisc* plug_;
   bool attached_ = false;
 
@@ -112,6 +123,7 @@ class InvariantAuditor final : public net::PlugObserver,
   PayloadFreezeGuard freeze_;
   StoreEquivalenceChecker store_;
   DeltaReplayChecker delta_;
+  ReplayEquivalenceChecker replay_;
 
   /// Marker id the plug reported last, cross-checked against the agent's
   /// marker hook.

@@ -225,6 +225,98 @@ void PayloadFreezeGuard::verify_budget(std::uint64_t budget) {
 }
 
 // ---------------------------------------------------------------------------
+// ReplayEquivalenceChecker
+
+void ReplayEquivalenceChecker::log_shipped(const core::LogSegmentMsg& seg) {
+  NLC_CHECK_MSG(seg.seq == next_seq_,
+                "audit: shipped log segment out of sequence");
+  NLC_CHECK_MSG(seg.start_index == p_entries_ && seg.start_fp == p_fp_,
+                "audit: log segment does not continue the primary's "
+                "shipped event chain");
+  for (const core::NdEvent& e : seg.entries) {
+    p_fp_ = core::nd_chain_fold(p_fp_, e);
+    ++p_entries_;
+    // Checkpoint stamps taken while these entries were still pending in
+    // the primary's log become verifiable as the chain reaches them.
+    while (!pending_stamps_.empty() &&
+           pending_stamps_.front().first == p_entries_) {
+      NLC_CHECK_MSG(pending_stamps_.front().second == p_fp_,
+                    "audit: checkpoint nondet stamp is off the shipped "
+                    "event chain");
+      pending_stamps_.pop_front();
+      ++checks_;
+    }
+  }
+  NLC_CHECK_MSG(p_fp_ == seg.end_fp,
+                "audit: log segment end fingerprint does not match an "
+                "independent refold of its entries");
+  ++next_seq_;
+  ++checks_;
+}
+
+void ReplayEquivalenceChecker::checkpoint_stamped(std::uint64_t nd_entries,
+                                                  std::uint64_t nd_fp) {
+  if (nd_entries <= p_entries_) {
+    // The stamp's position is already covered by shipped segments, so the
+    // fingerprints must agree right now; a position strictly behind the
+    // shipped prefix means the agent stamped a stale chain state.
+    NLC_CHECK_MSG(nd_entries == p_entries_ && nd_fp == p_fp_,
+                  "audit: checkpoint nondet stamp is off the shipped "
+                  "event chain");
+    ++checks_;
+    return;
+  }
+  if (!pending_stamps_.empty()) {
+    NLC_CHECK_MSG(nd_entries >= pending_stamps_.back().first,
+                  "audit: checkpoint nondet stamps went backwards");
+  }
+  pending_stamps_.emplace_back(nd_entries, nd_fp);
+}
+
+void ReplayEquivalenceChecker::log_ingested(const core::LogSegmentMsg& seg,
+                                            bool accepted) {
+  std::uint64_t fp = seg.start_fp;
+  for (const core::NdEvent& e : seg.entries) fp = core::nd_chain_fold(fp, e);
+  const bool chain_ok = seg.seq == b_seq_ && seg.start_index == b_entries_ &&
+                        seg.start_fp == b_fp_ && fp == seg.end_fp;
+  NLC_CHECK_MSG(accepted == chain_ok,
+                "audit: backup's segment accept decision disagrees with an "
+                "independent chain validation");
+  if (accepted) {
+    b_seq_ = seg.seq + 1;
+    b_entries_ = seg.start_index + seg.entries.size();
+    b_fp_ = seg.end_fp;
+  }
+  ++checks_;
+}
+
+void ReplayEquivalenceChecker::committed(std::uint64_t nd_entries,
+                                         std::uint64_t nd_fp) {
+  NLC_CHECK_MSG(nd_entries >= committed_entries_,
+                "audit: committed nondet chain stamp went backwards");
+  committed_entries_ = nd_entries;
+  committed_fp_ = nd_fp;
+  ++checks_;
+}
+
+void ReplayEquivalenceChecker::replayed(std::uint64_t final_fp,
+                                        std::uint64_t entries_replayed) {
+  // Replay runs from the committed checkpoint's stamp to the accepted end
+  // of the backup's chain. When the committed stamp already covers (or
+  // overtakes — entries recorded but never flushed before the crash) the
+  // accepted prefix, replay must be empty and end on the stamp itself.
+  const bool beyond = b_entries_ > committed_entries_;
+  const std::uint64_t expect_entries =
+      beyond ? b_entries_ - committed_entries_ : 0;
+  NLC_CHECK_MSG(entries_replayed == expect_entries,
+                "audit: failover replay covered the wrong entry span");
+  const std::uint64_t expect_fp = beyond ? b_fp_ : committed_fp_;
+  NLC_CHECK_MSG(final_fp == expect_fp,
+                "audit: failover replay ended off the accepted event chain");
+  ++checks_;
+}
+
+// ---------------------------------------------------------------------------
 // StoreEquivalenceChecker
 
 void StoreEquivalenceChecker::check(const criu::PageStore& store,

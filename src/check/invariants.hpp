@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/protocol.hpp"
 #include "criu/delta.hpp"
 #include "criu/image.hpp"
 #include "criu/pagestore.hpp"
@@ -39,6 +40,10 @@ struct AuditStats {
   std::uint64_t store_equivalence_checks = 0;
   std::uint64_t delta_replay_checks = 0;
   std::uint64_t restore_equivalence_checks = 0;
+  /// Replay commit mode (DESIGN.md §14): event-chain continuity, checkpoint
+  /// stamps, backup accept decisions and failover replay re-verified
+  /// against independent primary/backup chain mirrors.
+  std::uint64_t replay_equivalence_checks = 0;
   std::uint64_t sweeps = 0;
   /// Post-hoc orderings re-verified from the flight-recorder stream
   /// (trace_oracle.hpp); non-zero only when both auditing and tracing ran.
@@ -48,7 +53,7 @@ struct AuditStats {
     return output_commit_checks + epoch_commit_checks +
            payload_verifications + store_equivalence_checks +
            delta_replay_checks + restore_equivalence_checks +
-           trace_order_checks;
+           replay_equivalence_checks + trace_order_checks;
   }
 };
 
@@ -186,6 +191,53 @@ class StoreEquivalenceChecker {
   std::uint64_t checks() const { return checks_; }
 
  private:
+  std::uint64_t checks_ = 0;
+};
+
+/// Replay-equivalence audit (DESIGN.md §14, commit_mode = kReplay). Keeps
+/// two independent mirrors of the nondeterministic-event chain — the
+/// primary's shipped prefix and the backup's accepted prefix — folding
+/// every segment entry-by-entry with its own nd_chain_fold, and checks:
+///
+///   * every shipped segment continues the primary mirror exactly (seq,
+///     start index, start fingerprint, refold to the stamped end_fp);
+///   * every checkpoint's (nd_entries, nd_fp) stamp lies on the primary
+///     chain (immediately, or when the covering segment later ships);
+///   * the backup accepts a segment iff it continues the accepted chain,
+///     per an independent revalidation;
+///   * failover replay covers exactly committed stamp → accepted end and
+///     lands on the accepted end fingerprint.
+class ReplayEquivalenceChecker {
+ public:
+  /// The primary shipped `seg` (after its marker went into the plug).
+  void log_shipped(const core::LogSegmentMsg& seg);
+  /// A checkpoint stamped chain position (nd_entries, nd_fp); may cover
+  /// entries the primary has not flushed into a segment yet.
+  void checkpoint_stamped(std::uint64_t nd_entries, std::uint64_t nd_fp);
+  /// The backup validated `seg` and decided to accept or reject it.
+  void log_ingested(const core::LogSegmentMsg& seg, bool accepted);
+  /// The backup committed an epoch whose image carries this chain stamp.
+  void committed(std::uint64_t nd_entries, std::uint64_t nd_fp);
+  /// Failover replay finished with this end fingerprint and entry count.
+  void replayed(std::uint64_t final_fp, std::uint64_t entries_replayed);
+
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  // Primary mirror: the chain as far as shipped segments extend it.
+  std::uint64_t p_entries_ = 0;
+  std::uint64_t p_fp_ = core::kNdChainSeed;
+  std::uint64_t next_seq_ = 0;
+  /// Checkpoint stamps ahead of the shipped prefix, verified when the
+  /// covering segment ships. (entries, fp), non-decreasing in entries.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_stamps_;
+  // Backup mirror: the accepted prefix.
+  std::uint64_t b_seq_ = 0;
+  std::uint64_t b_entries_ = 0;
+  std::uint64_t b_fp_ = core::kNdChainSeed;
+  // Last committed checkpoint's chain stamp (the replay start point).
+  std::uint64_t committed_entries_ = 0;
+  std::uint64_t committed_fp_ = core::kNdChainSeed;
   std::uint64_t checks_ = 0;
 };
 

@@ -13,6 +13,8 @@ TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
   bool any_ack = false;
   std::uint64_t barrier = 0;
   bool any_barrier = false;
+  std::uint64_t log_acked = 0;
+  bool any_log_ack = false;
 
   for (const trace::Event& e : events) {
     if (e.track == trace::Track::kPrimary &&
@@ -20,6 +22,18 @@ TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
         e.stage == trace::Stage::kAckRecv) {
       if (!any_ack || e.arg > acked) acked = e.arg;
       any_ack = true;
+    } else if (e.track == trace::Track::kPrimary &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kLogAckRecv) {
+      if (!any_log_ack || e.arg > log_acked) log_acked = e.arg;
+      any_log_ack = true;
+    } else if (e.track == trace::Track::kPrimary &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kLogRelease) {
+      NLC_CHECK_MSG(any_log_ack && log_acked >= e.arg,
+                    "trace oracle: log segment output released before its "
+                    "ack reached the primary");
+      ++stats.log_release_checks;
     } else if (e.track == trace::Track::kDrbd &&
                e.type == trace::EventType::kInstant &&
                e.stage == trace::Stage::kDrbdBarrier) {

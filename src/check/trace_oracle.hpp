@@ -9,7 +9,12 @@
 //     §IV violation NiLiCon exists to prevent);
 //   * epoch commit — the backup may begin committing an epoch only after
 //     that epoch's DRBD barrier arrived (commit-before-barrier would let a
-//     failover restore memory state ahead of the disk).
+//     failover restore memory state ahead of the disk);
+//   * log-segment release (replay commit mode, DESIGN.md §14) — a
+//     segment's buffered output may be released only after that segment's
+//     log ack reached the primary (the HyCoR-style output-commit rule that
+//     replaces the per-epoch one; epoch runs emit no log instants, replay
+//     runs emit no epoch releases, so the rules never cross-fire).
 //
 // Event order comes from Recorder seq numbers, which are consistent with
 // each recording thread's program order — so a trace emitted by a correct
@@ -26,8 +31,12 @@ namespace nlc::check {
 struct TraceOrderStats {
   std::uint64_t release_checks = 0;  // release-after-ack orderings verified
   std::uint64_t commit_checks = 0;   // commit-after-barrier orderings verified
+  /// Replay mode: segment-release-after-log-ack orderings verified.
+  std::uint64_t log_release_checks = 0;
 
-  std::uint64_t total() const { return release_checks + commit_checks; }
+  std::uint64_t total() const {
+    return release_checks + commit_checks + log_release_checks;
+  }
 };
 
 /// Replays `events` (as drained from a trace::Recorder: sorted by seq) and

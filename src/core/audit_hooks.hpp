@@ -30,6 +30,18 @@ class PrimaryAuditHooks {
   virtual void on_ack_received(std::uint64_t epoch) = 0;
   /// Epoch `epoch`'s buffered output is about to be released to the wire.
   virtual void on_release(std::uint64_t epoch) = 0;
+
+  // ---- Replay commit mode (DESIGN.md §14); default no-ops so epoch-mode
+  // auditors and tests need not care. Per-segment order: log_shipped ->
+  // log_ack_received -> log_release.
+  /// A log segment was cut and is about to ship; `marker` is the plug
+  /// marker bounding the output it covers.
+  virtual void on_log_shipped(const LogSegmentMsg& /*seg*/,
+                              std::uint64_t /*marker*/) {}
+  /// The backup acknowledged segment `seq`.
+  virtual void on_log_ack_received(std::uint64_t /*seq*/) {}
+  /// Segment `seq`'s buffered output is about to be released to the wire.
+  virtual void on_log_release(std::uint64_t /*seq*/) {}
 };
 
 /// Backup-agent commit points, in per-epoch order: ack_sent ->
@@ -52,6 +64,16 @@ class BackupAuditHooks {
   virtual void on_recovery_started(std::uint64_t committed_epoch) = 0;
   /// Failover finished; the container runs on the backup.
   virtual void on_recovered(std::uint64_t committed_epoch) = 0;
+
+  // ---- Replay commit mode (DESIGN.md §14); default no-ops.
+  /// A log segment arrived and was validated; `accepted` is the replay
+  /// engine's verdict (false = not acknowledged, output stays held).
+  virtual void on_log_ingested(const LogSegmentMsg& /*seg*/,
+                               bool /*accepted*/) {}
+  /// Failover replay finished: `final_fp` is the replayed state's chain
+  /// fingerprint after `entries_replayed` re-executed events.
+  virtual void on_replayed(std::uint64_t /*final_fp*/,
+                           std::uint64_t /*entries_replayed*/) {}
 };
 
 }  // namespace nlc::core

@@ -10,10 +10,12 @@ namespace nlc::core {
 BackupAgent::BackupAgent(Options opts, kern::Kernel& kernel,
                          net::TcpStack& tcp, blk::DrbdBackup& drbd,
                          StateChannel& state_in, AckChannel& ack_out,
-                         HeartbeatChannel& hb_in,
+                         HeartbeatChannel& hb_in, LogChannel& log_in,
+                         LogAckChannel& log_ack_out,
                          ReplicationMetrics& metrics)
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), drbd_(&drbd),
       state_in_(&state_in), ack_out_(&ack_out), hb_in_(&hb_in),
+      log_in_(&log_in), log_ack_out_(&log_ack_out),
       metrics_(&metrics),
       commit_idle_(std::make_unique<sim::Event>(kernel.simulation())) {
   if (opts_.optimize_criu) {
@@ -32,6 +34,9 @@ void BackupAgent::start() {
   last_heartbeat_ = sim.now();
   armed_ = true;
   sim.spawn(kernel_->domain(), state_loop());
+  if (opts_.commit_mode == CommitMode::kReplay) {
+    sim.spawn(kernel_->domain(), log_loop());
+  }
   sim.spawn(kernel_->domain(), drbd_->run());
   sim.spawn(kernel_->domain(), watchdog());
   // Heartbeat receiver: just tracks arrival times.
@@ -137,11 +142,58 @@ sim::task<> BackupAgent::state_loop() {
     msg.image.fs_cache = {};     // folded into the fs-cache maps
     committed_image_ = std::move(msg.image);
     committed_epoch_ = msg.epoch;
+    // Replay mode: this checkpoint bakes in every event at or below its
+    // stamp; failover replays only what follows, so fully-covered log
+    // segments can be dropped.
+    committed_nd_entries_ = msg.nd_entries;
+    committed_nd_fp_ = msg.nd_fp;
+    if (opts_.commit_mode == CommitMode::kReplay) {
+      replay_.prune_below(msg.nd_entries);
+    }
     commit_in_progress_ = false;
     commit_idle_->set();
     if (trace_ != nullptr) {
       trace_->span_end(trace::Track::kBackup, trace::Stage::kCommit,
                        sim.now(), msg.epoch);
+    }
+  }
+}
+
+sim::task<> BackupAgent::log_loop() {
+  sim::Simulation& sim = kernel_->simulation();
+  while (true) {
+    LogSegmentMsg seg = co_await log_in_->recv();
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kLogRecv,
+                         sim.now(), seg.seq);
+    }
+    Time cost = log_costs_.recv_base +
+                static_cast<Time>(seg.entries.size()) *
+                    log_costs_.recv_per_entry;
+    co_await sim.sleep_for(cost);
+    metrics_->backup_busy += cost;
+    const bool accepted = replay_.ingest(seg);
+    if (audit_ != nullptr) audit_->on_log_ingested(seg, accepted);
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kLogRecv,
+                       sim.now(), seg.seq);
+    }
+    if (!accepted) {
+      // Never acknowledged: the primary holds the matching output forever
+      // rather than releasing output this backup cannot replay
+      // (correctness over liveness; a real system would resynchronize
+      // with a fresh checkpoint).
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kBackup, trace::Stage::kLogReject,
+                        sim.now(), seg.seq);
+      }
+      continue;
+    }
+    // The ack is the promise that failover replays to this segment's end.
+    log_ack_out_->send(LogAckMsg{seg.seq}, 64);
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kBackup, trace::Stage::kLogAckSent,
+                      sim.now(), seg.seq);
     }
   }
 }
@@ -267,10 +319,47 @@ sim::task<> BackupAgent::recover() {
 
   criu::RestoreEngine engine(*kernel_, *tcp_, costs);
   criu::RestoreTimeline tl = co_await engine.restore(
-      img, pages_->all_pages(), fs, opts_.rto_repair_fix);
+      img, pages_->all_pages(), fs, opts_.rto_repair_fix,
+      /*ack_runahead=*/opts_.commit_mode == CommitMode::kReplay);
 
   // Residual recovery actions (Table II "Others").
   co_await sim.sleep_for(costs.recovery_misc);
+
+  if (opts_.commit_mode == CommitMode::kReplay) {
+    // Deterministic replay (DESIGN.md §14): re-drive the accepted event
+    // log on top of the restored checkpoint, so the container re-reaches
+    // the exact point whose output was already released. The sim's
+    // restored TCP queues re-deliver the same requests in logged order;
+    // the engine charges the cost and the fingerprint proves equivalence.
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kBackup, trace::Stage::kReplay,
+                         sim.now(), committed_epoch_);
+    }
+    replay::ReplayResult rr =
+        replay_.replay(committed_nd_entries_, committed_nd_fp_);
+    co_await sim.sleep_for(rr.cost);
+    // Re-inject logged inputs the restored checkpoint has never seen:
+    // their TCP acks were released on log acks, so the clients will never
+    // retransmit them. Injection is idempotent by sequence number, so
+    // inputs already inside the checkpoint's read queues are skipped.
+    for (const LogSegmentMsg& held : replay_.held_segments()) {
+      for (const NetInputRec& in : held.inputs) {
+        if (in.entry_index < committed_nd_entries_) continue;
+        if (tcp_->inject_repaired_input(in.local, in.remote, in.seg)) {
+          ++recovery_.inputs_reinjected;
+        }
+      }
+    }
+    recovery_.events_replayed = rr.entries_replayed;
+    recovery_.segments_replayed = rr.segments_replayed;
+    recovery_.replay_time = rr.cost;
+    if (audit_ != nullptr) audit_->on_replayed(rr.final_fp,
+                                               rr.entries_replayed);
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kBackup, trace::Stage::kReplay,
+                       sim.now(), committed_epoch_);
+    }
+  }
 
   // Reconnect to the bridge: gratuitous ARP moves the service address.
   co_await sim.sleep_for(costs.gratuitous_arp);

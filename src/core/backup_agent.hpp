@@ -15,9 +15,11 @@
 
 #include "blockdev/drbd.hpp"
 #include "core/audit_hooks.hpp"
+#include "core/event_log.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "core/protocol.hpp"
+#include "core/replay.hpp"
 #include "criu/pagestore.hpp"
 #include "criu/restore.hpp"
 #include "kernel/kernel.hpp"
@@ -42,6 +44,7 @@ class BackupAgent {
   BackupAgent(Options opts, kern::Kernel& kernel, net::TcpStack& tcp,
               blk::DrbdBackup& drbd, StateChannel& state_in,
               AckChannel& ack_out, HeartbeatChannel& hb_in,
+              LogChannel& log_in, LogAckChannel& log_ack_out,
               ReplicationMetrics& metrics);
 
   /// Spawns the state receiver, the DRBD receiver, and the heartbeat
@@ -70,9 +73,12 @@ class BackupAgent {
   bool recovered() const { return recovered_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
   const criu::PageStore& page_store() const { return *pages_; }
+  /// Replay commit mode: the accepted event-log prefix (tests/auditing).
+  const replay::ReplayEngine& replay_engine() const { return replay_; }
 
  private:
   sim::task<> state_loop();
+  sim::task<> log_loop();
   sim::task<> watchdog();
   sim::task<> recover();
   criu::CheckpointImage take_restore_image();
@@ -84,6 +90,8 @@ class BackupAgent {
   StateChannel* state_in_;
   AckChannel* ack_out_;
   HeartbeatChannel* hb_in_;
+  LogChannel* log_in_;
+  LogAckChannel* log_ack_out_;
   ReplicationMetrics* metrics_;
   BackupAuditHooks* audit_ = nullptr;
   trace::Recorder* trace_ = nullptr;
@@ -108,6 +116,14 @@ class BackupAgent {
   std::unique_ptr<sim::Event> commit_idle_;
   RecoveryMetrics recovery_;
   criu::BackupCosts backup_costs_;
+
+  // ---- Replay commit mode (DESIGN.md §14) ---------------------------------
+  replay::ReplayEngine replay_;
+  LogCostModel log_costs_;
+  /// Event-log stamp of the newest committed checkpoint: the point replay
+  /// starts from at failover.
+  std::uint64_t committed_nd_entries_ = 0;
+  std::uint64_t committed_nd_fp_ = kNdChainSeed;
 };
 
 }  // namespace nlc::core

@@ -46,6 +46,14 @@ Cluster::Cluster(ClusterConfig cfg)
 
   state_channel = std::make_unique<StateChannel>(sim, *p2b, backup_domain);
   ack_channel = std::make_unique<AckChannel>(sim, *b2p, primary_domain);
+  // Priority lane (802.1p-style class) for the event log: shares the
+  // physical 10 GbE but never queues behind page-delta serialization.
+  log_priority_link = std::make_unique<net::Link>(
+      sim, cfg.replication_link_bps, cfg.replication_link_latency);
+  log_channel = std::make_unique<LogChannel>(sim, *log_priority_link,
+                                             backup_domain);
+  log_ack_channel = std::make_unique<LogAckChannel>(sim, *b2p,
+                                                    primary_domain);
   control_link = std::make_unique<net::Link>(sim, cfg.control_link_bps,
                                              cfg.control_link_latency);
   heartbeat_channel = std::make_unique<HeartbeatChannel>(
@@ -70,10 +78,12 @@ sim::task<> Cluster::protect(kern::ContainerId cid, const Options& opts) {
   NLC_CHECK_MSG(primary_agent == nullptr, "cluster already protecting");
   primary_agent = std::make_unique<PrimaryAgent>(
       opts, *primary_kernel, primary_tcp, cid, *drbd_primary, *state_channel,
-      *ack_channel, *heartbeat_channel, metrics);
+      *ack_channel, *heartbeat_channel, *log_channel, *log_ack_channel,
+      metrics);
   backup_agent = std::make_unique<BackupAgent>(
       opts, *backup_kernel, backup_tcp, *drbd_backup, *state_channel,
-      *ack_channel, *heartbeat_channel, metrics);
+      *ack_channel, *heartbeat_channel, *log_channel, *log_ack_channel,
+      metrics);
   if (opts.trace_level != TraceLevel::kOff) {
     if (tracer == nullptr) tracer = std::make_shared<trace::Recorder>();
     primary_agent->set_trace(tracer.get());

@@ -82,6 +82,14 @@ class Cluster {
   std::unique_ptr<StateChannel> state_channel;
   std::unique_ptr<AckChannel> ack_channel;
   std::unique_ptr<HeartbeatChannel> heartbeat_channel;
+  /// Event-log side channel (commit_mode = kReplay, DESIGN.md §14): a
+  /// strict-priority traffic class on the replication NIC, modeled as its
+  /// own lane so the tiny log segments never serialize behind a multi-MB
+  /// page delta — otherwise log-ack latency (and hence client-visible
+  /// p99) would grow with the epoch length, defeating the commit mode.
+  std::unique_ptr<net::Link> log_priority_link;
+  std::unique_ptr<LogChannel> log_channel;
+  std::unique_ptr<LogAckChannel> log_ack_channel;
 
   ReplicationMetrics metrics;
   std::unique_ptr<PrimaryAgent> primary_agent;

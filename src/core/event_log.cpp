@@ -1,0 +1,57 @@
+#include "core/event_log.hpp"
+
+namespace nlc::core {
+
+void EventLog::on_net_input(std::uint64_t sock, std::uint64_t tag,
+                            std::uint64_t payload_hash) {
+  record(NdEvent{NdEventType::kNetInput, sock, tag, payload_hash});
+}
+
+void EventLog::on_timer(std::uint64_t timer_id, std::uint64_t seq) {
+  record(NdEvent{NdEventType::kTimer, timer_id, seq, 0});
+}
+
+void EventLog::on_rng_draw(std::uint64_t value) {
+  record(NdEvent{NdEventType::kRngDraw, value, 0, 0});
+}
+
+void EventLog::record_net_input(net::SocketId sock, net::Endpoint local,
+                                net::Endpoint remote,
+                                const net::Segment& seg) {
+  // The chain covers the bytes' identity (seq, len, tag); the sidecar
+  // carries the bytes themselves for failover re-injection.
+  std::uint64_t h = splitmix64(seg.seq);
+  h = splitmix64(h ^ seg.len);
+  h = splitmix64(h ^ seg.tag);
+  NetInputRec rec;
+  rec.entry_index = entries_total_;  // index this entry is about to take
+  rec.local = local;
+  rec.remote = remote;
+  rec.seg = seg;
+  pending_inputs_.push_back(std::move(rec));
+  record(NdEvent{NdEventType::kNetInput, sock, seg.tag, h});
+}
+
+void EventLog::record(const NdEvent& e) {
+  chain_fp_ = nd_chain_fold(chain_fp_, e);
+  ++entries_total_;
+  pending_.push_back(e);
+  if (on_append_) on_append_();
+}
+
+LogSegmentMsg EventLog::cut_segment() {
+  LogSegmentMsg seg;
+  seg.seq = next_seq_++;
+  seg.start_index = pending_start_index_;
+  seg.start_fp = pending_start_fp_;
+  seg.end_fp = chain_fp_;
+  seg.entries = std::move(pending_);
+  pending_.clear();
+  seg.inputs = std::move(pending_inputs_);
+  pending_inputs_.clear();
+  pending_start_index_ = entries_total_;
+  pending_start_fp_ = chain_fp_;
+  return seg;
+}
+
+}  // namespace nlc::core

@@ -1,0 +1,84 @@
+// Primary-side nondeterministic-event log (DESIGN.md §14).
+//
+// In replay commit mode the PrimaryAgent installs an EventLog as the
+// protected container's NondetSink. Apps report every nondeterminism
+// source (network-input ordering, timer firings, RNG draws) at the point
+// it takes effect; the log folds each entry into a running chain
+// fingerprint and buffers it until the flush loop cuts a LogSegmentMsg.
+// Segments partition the chain, so the backup (and the replay-equivalence
+// auditor) can verify that every shipped slice extends the same history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "kernel/container.hpp"
+#include "util/time.hpp"
+
+namespace nlc::core {
+
+/// Simulated CPU cost of the event-log pipeline. All knobs are tiny by
+/// construction: the entire point of replay mode is that the log path is
+/// orders of magnitude cheaper than the page-delta path.
+struct LogCostModel {
+  /// Primary: cut + serialize + hand a segment to the NIC.
+  Time flush_base = nlc::microseconds(2);
+  Time flush_per_entry = nlc::nanoseconds(20);
+  /// Backup: receive + chain validation.
+  Time recv_base = nlc::microseconds(1);
+  Time recv_per_entry = nlc::nanoseconds(10);
+  /// Backup failover: deterministic re-execution of one logged event on
+  /// top of the restored checkpoint.
+  Time replay_base = nlc::microseconds(40);
+  Time replay_per_entry = nlc::nanoseconds(150);
+};
+
+class EventLog final : public kern::NondetSink {
+ public:
+  /// Installs (or clears) a callback fired on every recorded entry; the
+  /// flush loop uses it to wake when there is something worth shipping.
+  void set_on_append(std::function<void()> fn) { on_append_ = std::move(fn); }
+
+  void on_net_input(std::uint64_t sock, std::uint64_t tag,
+                    std::uint64_t payload_hash) override;
+  void on_timer(std::uint64_t timer_id, std::uint64_t seq) override;
+  void on_rng_draw(std::uint64_t value) override;
+
+  /// TCP receive-time input record (installed as the stack's input tap on
+  /// the service IP). Unlike the app-level on_net_input — consume order —
+  /// this carries the received segment itself as a sidecar, so an
+  /// acknowledged slice of the log makes the input durable at the backup
+  /// before any output that depends on it can be released.
+  void record_net_input(net::SocketId sock, net::Endpoint local,
+                        net::Endpoint remote, const net::Segment& seg);
+
+  /// Total entries ever recorded, including ones not yet cut into a
+  /// segment. Checkpoints stamp this (EpochStateMsg::nd_entries).
+  std::uint64_t entries_total() const { return entries_total_; }
+  /// Chain fingerprint over all recorded entries.
+  std::uint64_t chain_fp() const { return chain_fp_; }
+  std::uint64_t pending_entries() const { return pending_.size(); }
+  std::uint64_t segments_cut() const { return next_seq_; }
+
+  /// Moves the pending entries into a fresh segment. The caller must
+  /// insert the matching plug marker in the same scheduler step so the
+  /// marker bounds exactly the output produced by events up to this cut.
+  LogSegmentMsg cut_segment();
+
+ private:
+  void record(const NdEvent& e);
+
+  std::vector<NdEvent> pending_;
+  std::vector<NetInputRec> pending_inputs_;
+  std::uint64_t pending_start_index_ = 0;
+  std::uint64_t pending_start_fp_ = kNdChainSeed;
+  std::uint64_t entries_total_ = 0;
+  std::uint64_t chain_fp_ = kNdChainSeed;
+  std::uint64_t next_seq_ = 0;
+  std::function<void()> on_append_;
+};
+
+}  // namespace nlc::core

@@ -33,6 +33,17 @@ struct ReplicationMetrics {
   std::uint64_t epochs_completed = 0;
   std::uint64_t bytes_shipped = 0;
 
+  // ---- Event-log stream (commit_mode = kReplay, DESIGN.md §14) ------------
+  /// Event-log wire bytes, accounted separately from `bytes_shipped` (the
+  /// page-delta stream) so overhead reports show both streams.
+  std::uint64_t log_bytes_shipped = 0;
+  std::uint64_t log_segments_shipped = 0;
+  std::uint64_t log_entries_recorded = 0;
+  /// Per-segment time from log cut to buffered-output release — the
+  /// client-visible output-commit delay in replay mode (compare against
+  /// `commit_latency_ms`, which still tracks the full epoch commit).
+  Samples log_commit_latency_ms;
+
   // ---- Zero-copy page pipeline + delta compression (extension) ------------
   /// Per-epoch page-payload compression ratio (wire / raw; 1.0 = no gain).
   Samples compression_ratio;
@@ -81,6 +92,16 @@ struct RecoveryMetrics {
   std::uint64_t pages_restored = 0;
   std::uint64_t sockets_restored = 0;
   std::uint64_t committed_epoch = 0;
+  // ---- Replay commit mode (DESIGN.md §14) ---------------------------------
+  /// Logged events re-executed on top of the restored checkpoint to reach
+  /// the released-output point.
+  std::uint64_t events_replayed = 0;
+  std::uint64_t segments_replayed = 0;
+  /// Client inputs re-injected into repaired sockets from log sidecars
+  /// (inputs whose server ACK escaped before the crash are never
+  /// retransmitted by the client, so the log must carry them).
+  std::uint64_t inputs_reinjected = 0;
+  Time replay_time = 0;
 };
 
 }  // namespace nlc::core

@@ -29,6 +29,16 @@ enum class AuditLevel : std::uint8_t { kOff, kCommitPoints, kContinuous };
 ///          observables stay byte-identical with tracing on or off.
 enum class TraceLevel : std::uint8_t { kOff, kFull };
 
+/// Output-commit discipline (DESIGN.md §14).
+///  kEpoch  — NiLiCon: client output is held until the whole epoch's dirty
+///            state is shipped and acknowledged (p99 tracks epoch length).
+///  kReplay — HyCoR: nondeterministic events are logged and shipped on a
+///            small side channel; output is released as soon as the event
+///            log covering it is acknowledged, while the page delta commits
+///            asynchronously. On failover the backup replays the committed
+///            log on top of the restored checkpoint.
+enum class CommitMode : std::uint8_t { kEpoch, kReplay };
+
 struct Options {
   /// Execution-phase length per epoch (paper: 30 ms).
   Time epoch_length = nlc::milliseconds(30);
@@ -64,6 +74,14 @@ struct Options {
   bool fs_cache_via_dnc = true;
   /// §III/§IV: keep ingress blocked during recovery until sockets exist.
   bool block_input_during_recovery = true;
+
+  // ---- Output commit (DESIGN.md §14) ---------------------------------------
+  /// kEpoch reproduces the paper; kReplay releases output on event-log ack.
+  CommitMode commit_mode = CommitMode::kEpoch;
+  /// Replay mode: how long the primary coalesces buffered output before
+  /// cutting and shipping a log segment. Bounds the added client latency
+  /// together with the replication-link round trip.
+  Time log_flush_delay = nlc::microseconds(50);
 
   // ---- Failure detection (§IV) ---------------------------------------------
   Time heartbeat_interval = nlc::milliseconds(30);

@@ -11,15 +11,31 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
                            net::TcpStack& tcp, kern::ContainerId cid,
                            blk::DrbdPrimary& drbd, StateChannel& state_out,
                            AckChannel& ack_in, HeartbeatChannel& hb_out,
+                           LogChannel& log_out, LogAckChannel& log_ack_in,
                            ReplicationMetrics& metrics)
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid), drbd_(&drbd),
       state_out_(&state_out), ack_in_(&ack_in), hb_out_(&hb_out),
+      log_out_(&log_out), log_ack_in_(&log_ack_in),
       metrics_(&metrics), ckpt_(kernel, tcp), cache_(kernel, cid),
       delta_(opts.resolved_page_shards(), opts.resolved_simd_tier()),
       rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
-      ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {
+      ack_event_(std::make_unique<sim::Event>(kernel.simulation())),
+      log_flush_event_(std::make_unique<sim::Event>(kernel.simulation())) {
   metrics_->page_shards_used = delta_.shards();
   metrics_->simd_tier_used = delta_.simd_tier();
+}
+
+PrimaryAgent::~PrimaryAgent() {
+  // The plug (TcpStack) and the container (Kernel) outlive the agent;
+  // drop the callbacks that point back into this object.
+  if (plug_ != nullptr) plug_->set_enqueue_hook(nullptr);
+  kern::Container* cont = kernel_->container(cid_);
+  if (cont != nullptr) {
+    if (cont->nondet_sink() == &nd_log_) cont->set_nondet_sink(nullptr);
+    if (opts_.commit_mode == CommitMode::kReplay) {
+      tcp_->set_input_tap(service_ip(), nullptr);
+    }
+  }
 }
 
 net::IpAddr PrimaryAgent::service_ip() const {
@@ -68,6 +84,27 @@ sim::task<> PrimaryAgent::start() {
   // agent driving it is proof of life.
   sim.spawn(kernel_->domain(), heartbeat_loop());
   sim.spawn(kernel_->domain(), ack_loop());
+
+  if (replay_mode()) {
+    // HyCoR output commit (DESIGN.md §14): record every nondeterministic
+    // input the container observes, and release buffered output on the
+    // event-log ack instead of the epoch ack.
+    kern::Container* cont = kernel_->container(cid_);
+    NLC_CHECK_MSG(cont != nullptr, "protecting an unknown container");
+    cont->set_nondet_sink(&nd_log_);
+    // Receive-time input durability: every in-order data segment enters
+    // the log (with its payload sidecar) before its TCP ack reaches the
+    // plug, so a released ack implies the input is already at the backup.
+    tcp_->set_input_tap(
+        service_ip(),
+        [this](net::SocketId sock, net::Endpoint local, net::Endpoint remote,
+               const net::Segment& seg) {
+          nd_log_.record_net_input(sock, local, remote, seg);
+        });
+    plug().set_enqueue_hook([this] { log_flush_event_->set(); });
+    sim.spawn(kernel_->domain(), log_flush_loop());
+    sim.spawn(kernel_->domain(), log_ack_loop());
+  }
 
   // Initial full synchronization (Remus's initial state copy).
   co_await checkpoint_once(/*initial=*/true);
@@ -122,16 +159,24 @@ Time PrimaryAgent::send_side_cost(const EpochStateMsg& msg, bool staged) const {
   return t;
 }
 
-sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged) {
+sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged,
+                                     Time precopy) {
   sim::Simulation& sim = kernel_->simulation();
   const std::uint64_t epoch = msg.epoch;
-  Time cost = send_side_cost(msg, staged);
+  Time cost = precopy + send_side_cost(msg, staged);
   metrics_->primary_agent_busy += cost;
+  // One dumper/sender thread: staged ships of consecutive epochs queue
+  // behind each other rather than overlapping. Besides modeling the real
+  // backpressure, this keeps EpochStateMsg arrivals in epoch order — a
+  // long copy-out (COW dump) followed by a short one must not let the
+  // later epoch's send overtake the earlier one on the channel.
+  Time start = sim.now() > ship_busy_until_ ? sim.now() : ship_busy_until_;
+  ship_busy_until_ = start + cost;
   if (trace_ != nullptr) {
     trace_->span_begin(trace::Track::kPrimaryShip, trace::Stage::kShip,
                        sim.now(), epoch);
   }
-  co_await sim.sleep_for(cost);
+  co_await sim.sleep_for(ship_busy_until_ - sim.now());
   std::uint64_t bytes = msg.wire_bytes;
   state_out_->send(std::move(msg), bytes);
   if (trace_ != nullptr) {
@@ -207,8 +252,23 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   criu::HarvestResult hr = ckpt_.harvest(cid_, epoch, cached, ho);
   metrics_->shard_stage_ns.harvest += util::wall_now_ns() - harvest_t0;
   if (opts_.cache_infrequent_state) cache_.update(hr.image.infrequent);
-  co_await sim.sleep_for(hr.cost.total());
-  metrics_->primary_agent_busy += hr.cost.total();
+  // HyCoR-style COW dump (replay mode, DESIGN.md §14): the frozen window
+  // arms write protection on the dirty set instead of copying it; the
+  // copy-out overlaps the next execute phase and is charged to the
+  // shipping path below (the delta cannot serialize before it finishes).
+  // Epoch mode keeps the copy inside the stop (NiLiCon §V-D), since the
+  // epoch's output is plugged until commit anyway.
+  const bool cow_dump = replay_mode() && opts_.staging_buffer && !initial;
+  Time stop_cost = hr.cost.total();
+  Time deferred_copy = 0;
+  if (cow_dump) {
+    deferred_copy = hr.cost.page_copy;
+    stop_cost -= deferred_copy;
+    stop_cost += static_cast<Time>(hr.image.dirty_page_count()) *
+                 costs.cow_protect_per_page;
+  }
+  co_await sim.sleep_for(stop_cost);
+  metrics_->primary_agent_busy += stop_cost;
   metrics_->payload_copies_avoided += hr.content_pages;
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimary, trace::Stage::kHarvest,
@@ -233,6 +293,11 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
                        sim.now(), epoch);
     }
     msg.compressed_pages = ds.content_pages;
+    // Per-epoch log-stream bytes (replay mode): everything the log
+    // channel shipped since the previous checkpoint. Kept out of the page
+    // stream's wire/compression accounting.
+    ds.log_bytes = metrics_->log_bytes_shipped - log_bytes_at_last_epoch_;
+    log_bytes_at_last_epoch_ = metrics_->log_bytes_shipped;
     if (!initial && ds.content_pages > 0) {
       metrics_->compression_ratio.add(ds.ratio());
       metrics_->wire_bytes_saved += ds.raw_bytes - ds.wire_bytes;
@@ -242,6 +307,11 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   std::uint64_t dirty = hr.image.dirty_page_count();
   std::uint64_t bytes = msg.wire_bytes;
   msg.image = std::move(hr.image);
+  // Replay mode: stamp the event-log position whose effects this image
+  // already contains. The container is frozen, so the stamp is exact;
+  // failover replays only events recorded after it.
+  msg.nd_entries = nd_log_.entries_total();
+  msg.nd_fp = nd_log_.chain_fp();
   if (audit_ != nullptr) audit_->on_state_ready(msg, initial);
   if (trace_ != nullptr) {
     trace_->counter(trace::Track::kPrimary, trace::Stage::kDirtyPages,
@@ -268,9 +338,14 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     trace_->instant(trace::Track::kNetPrimary,
                     trace::Stage::kIngressUnblock, sim.now(), epoch);
   }
-  rec.marker = plug().insert_marker();
+  if (!replay_mode()) {
+    rec.marker = plug().insert_marker();
+    if (audit_ != nullptr) audit_->on_marker_inserted(epoch, rec.marker);
+  }
+  // In replay mode no epoch marker exists — output is bounded by log-
+  // segment markers and released by log_ack_loop() — but the record is
+  // still armed so the epoch ack retires it (and its commit latency).
   rec.marker_inserted = true;
-  if (audit_ != nullptr) audit_->on_marker_inserted(epoch, rec.marker);
   kernel_->thaw_container(cid_);
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimary, trace::Stage::kPause,
@@ -297,7 +372,8 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   } else {
     // Staged: ship concurrently with the next execute phase; the ack_loop
     // releases the marker when the backup confirms.
-    sim.spawn(kernel_->domain(), ship_state(std::move(msg), /*staged=*/true));
+    sim.spawn(kernel_->domain(),
+              ship_state(std::move(msg), /*staged=*/true, deferred_copy));
   }
   ++epoch_;
 }
@@ -324,6 +400,14 @@ sim::task<> PrimaryAgent::ack_loop() {
 }
 
 void PrimaryAgent::release_epoch(EpochRec& rec) {
+  if (replay_mode()) {
+    // Output already flows on log acks; the epoch ack only marks the
+    // asynchronous page-delta commit and retires the pipeline record.
+    metrics_->commit_latency_ms.add(
+        to_millis(kernel_->simulation().now() - rec.stop_begin));
+    erase_rec(rec.epoch);
+    return;
+  }
   if (audit_ != nullptr) audit_->on_release(rec.epoch);
   if (trace_ != nullptr) {
     const Time now = kernel_->simulation().now();
@@ -339,6 +423,74 @@ void PrimaryAgent::release_epoch(EpochRec& rec) {
   metrics_->commit_latency_ms.add(
       to_millis(kernel_->simulation().now() - rec.stop_begin));
   erase_rec(rec.epoch);
+}
+
+sim::task<> PrimaryAgent::log_flush_loop() {
+  sim::Simulation& sim = kernel_->simulation();
+  while (running_) {
+    co_await log_flush_event_->wait();
+    log_flush_event_->reset();
+    if (!running_) break;
+    // Coalesce: output enqueued within the window shares one segment (and
+    // one replication-link round trip).
+    co_await sim.sleep_for(opts_.log_flush_delay);
+    // Cut and marker insert run in one scheduler step, so the marker
+    // bounds exactly the output produced by the events in this segment.
+    LogSegmentMsg seg = nd_log_.cut_segment();
+    const std::uint64_t seq = seg.seq;
+    const std::uint64_t marker = plug().insert_marker();
+    seg_recs_.emplace(seq, SegRec{marker, sim.now()});
+    if (audit_ != nullptr) audit_->on_log_shipped(seg, marker);
+    const std::uint64_t bytes = log_segment_wire_bytes(seg);
+    const Time cost =
+        log_costs_.flush_base +
+        static_cast<Time>(seg.entries.size()) * log_costs_.flush_per_entry;
+    metrics_->primary_agent_busy += cost;
+    metrics_->log_entries_recorded += seg.entries.size();
+    ++metrics_->log_segments_shipped;
+    metrics_->log_bytes_shipped += bytes;
+    if (trace_ != nullptr) {
+      trace_->span_begin(trace::Track::kPrimaryShip, trace::Stage::kLogShip,
+                         sim.now(), seq);
+      trace_->counter(trace::Track::kPrimaryShip, trace::Stage::kLogBytes,
+                      sim.now(), bytes);
+    }
+    co_await sim.sleep_for(cost);
+    log_out_->send(std::move(seg), bytes);
+    if (trace_ != nullptr) {
+      trace_->span_end(trace::Track::kPrimaryShip, trace::Stage::kLogShip,
+                       sim.now(), seq);
+    }
+  }
+}
+
+sim::task<> PrimaryAgent::log_ack_loop() {
+  while (running_) {
+    LogAckMsg ack = co_await log_ack_in_->recv();
+    auto it = seg_recs_.find(ack.seq);
+    NLC_CHECK_MSG(it != seg_recs_.end(), "log ack for an unknown segment");
+    if (audit_ != nullptr) audit_->on_log_ack_received(ack.seq);
+    const Time now = kernel_->simulation().now();
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kPrimary, trace::Stage::kLogAckRecv, now,
+                      ack.seq);
+    }
+    // Output commit, replay flavor: the backup can replay to this
+    // segment's end, so everything buffered before its marker may leave.
+    if (audit_ != nullptr) audit_->on_log_release(ack.seq);
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kPrimary, trace::Stage::kLogRelease, now,
+                      ack.seq);
+      const std::uint64_t released_before = plug().released_total();
+      plug().release_to_marker(it->second.marker);
+      trace_->instant(trace::Track::kNetPrimary, trace::Stage::kPlugRelease,
+                      now, plug().released_total() - released_before);
+    } else {
+      plug().release_to_marker(it->second.marker);
+    }
+    metrics_->log_commit_latency_ms.add(to_millis(now - it->second.cut_at));
+    seg_recs_.erase(it);
+  }
 }
 
 sim::task<> PrimaryAgent::heartbeat_loop() {

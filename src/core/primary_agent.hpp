@@ -11,10 +11,12 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "blockdev/drbd.hpp"
 #include "core/audit_hooks.hpp"
+#include "core/event_log.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
 #include "core/protocol.hpp"
@@ -34,7 +36,11 @@ class PrimaryAgent {
   PrimaryAgent(Options opts, kern::Kernel& kernel, net::TcpStack& tcp,
                kern::ContainerId cid, blk::DrbdPrimary& drbd,
                StateChannel& state_out, AckChannel& ack_in,
-               HeartbeatChannel& hb_out, ReplicationMetrics& metrics);
+               HeartbeatChannel& hb_out, LogChannel& log_out,
+               LogAckChannel& log_ack_in, ReplicationMetrics& metrics);
+  /// Clears the callbacks installed into the plug and the container
+  /// (both outlive the agent in the Cluster).
+  ~PrimaryAgent();
 
   /// Spawns the epoch loop, ack receiver and heartbeat sender under the
   /// primary host's domain. Returns once the initial full synchronization
@@ -59,8 +65,14 @@ class PrimaryAgent {
   sim::task<> epoch_loop();
   sim::task<> ack_loop();
   sim::task<> heartbeat_loop();
+  sim::task<> log_flush_loop();
+  sim::task<> log_ack_loop();
+  bool replay_mode() const { return opts_.commit_mode == CommitMode::kReplay; }
   sim::task<> checkpoint_once(bool initial);
-  sim::task<> ship_state(EpochStateMsg msg, bool staged);
+  /// `precopy` is the COW copy-out deferred from the stop window (replay
+  /// mode): charged before the send, since the delta cannot serialize
+  /// until the protected snapshot has been copied out.
+  sim::task<> ship_state(EpochStateMsg msg, bool staged, Time precopy = 0);
   sim::task<> wait_acked(std::uint64_t epoch);
   Time send_side_cost(const EpochStateMsg& msg, bool staged) const;
   net::IpAddr service_ip() const;
@@ -77,6 +89,8 @@ class PrimaryAgent {
   StateChannel* state_out_;
   AckChannel* ack_in_;
   HeartbeatChannel* hb_out_;
+  LogChannel* log_out_;
+  LogAckChannel* log_ack_in_;
   ReplicationMetrics* metrics_;
   PrimaryAuditHooks* audit_ = nullptr;
   trace::Recorder* trace_ = nullptr;
@@ -116,6 +130,28 @@ class PrimaryAgent {
   /// ship path and the ack_loop.
   void release_epoch(EpochRec& rec);
   std::array<EpochRec, kEpochWindow> epoch_recs_;
+
+  // ---- Replay commit mode (DESIGN.md §14) ---------------------------------
+  /// The container's nondeterminism recorder; installed as its NondetSink
+  /// in start() when commit_mode == kReplay.
+  EventLog nd_log_;
+  LogCostModel log_costs_;
+  /// Wakes the flush loop when buffered output is waiting on a log ship.
+  std::unique_ptr<sim::Event> log_flush_event_;
+  /// In-flight segments: seq -> (plug marker bounding its output, cut
+  /// time). Released (and erased) on the backup's log ack.
+  struct SegRec {
+    std::uint64_t marker = 0;
+    Time cut_at = 0;
+  };
+  std::map<std::uint64_t, SegRec> seg_recs_;
+  /// log_bytes_shipped high-water at the previous checkpoint, for the
+  /// per-epoch log-stream stamp in EpochDeltaStats::log_bytes.
+  std::uint64_t log_bytes_at_last_epoch_ = 0;
+  /// The single dumper/sender thread's busy horizon: staged ships (and
+  /// their deferred COW copy-outs) serialize behind it so EpochStateMsg
+  /// arrivals stay in epoch order.
+  Time ship_busy_until_ = 0;
 };
 
 }  // namespace nlc::core

@@ -3,12 +3,107 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "criu/image.hpp"
 #include "net/channel.hpp"
+#include "net/tcp.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace nlc::core {
+
+// ---------------------------------------------------------------------------
+// Nondeterministic-event log (DESIGN.md §14, commit_mode = kReplay)
+
+/// Taxonomy of nondeterminism the container app observes. Everything the
+/// backup needs to re-reach the primary's released-output point is one of:
+enum class NdEventType : std::uint8_t {
+  kNetInput,  ///< a request was consumed from a socket (ordering + content)
+  kTimer,     ///< a periodic app timer fired (keepalive, writeback)
+  kRngDraw,   ///< the app observed a seeded-RNG outcome
+};
+
+/// One logged event. Field meaning by type:
+///   kNetInput: a = socket id, b = request tag, c = payload content hash
+///   kTimer:    a = timer id,  b = firing sequence number, c = 0
+///   kRngDraw:  a = folded draw value, b = 0, c = 0
+struct NdEvent {
+  NdEventType type = NdEventType::kNetInput;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Seed of every event chain; also the fingerprint of an empty log.
+inline constexpr std::uint64_t kNdChainSeed = 0x6e69'4c69'436f'6e21ull;
+
+inline constexpr std::uint64_t nd_entry_hash(const NdEvent& e) {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(e.type));
+  h = splitmix64(h ^ e.a);
+  h = splitmix64(h ^ e.b);
+  return splitmix64(h ^ e.c);
+}
+
+/// Chain fold: fp' = mix(fp ^ hash(event)). Order-sensitive, so two logs
+/// with equal fingerprints recorded the same events in the same order —
+/// the sim's byte-identical-state evidence for replay equivalence.
+inline constexpr std::uint64_t nd_chain_fold(std::uint64_t fp,
+                                             const NdEvent& e) {
+  return splitmix64(fp ^ nd_entry_hash(e));
+}
+
+/// Payload sidecar of a kNetInput entry: the received segment itself,
+/// addressed by connection tuple (stable across failover, unlike socket
+/// ids). This is what makes the log *functional*, not just evidence — at
+/// failover the backup re-injects every retained input the restored
+/// checkpoint does not already contain, so a client whose request was
+/// TCP-acked after the checkpoint (the ack released on a log ack) never
+/// needs to retransmit data the new primary has never seen.
+struct NetInputRec {
+  std::uint64_t entry_index = 0;  ///< position of the entry on the chain
+  net::Endpoint local;
+  net::Endpoint remote;
+  net::Segment seg;
+};
+
+/// One shipped slice of the event log. Segments partition the chain:
+/// entries [start_index, start_index + entries.size()) fold start_fp into
+/// end_fp. The backup validates both the fold and the continuity against
+/// its accepted prefix before acknowledging.
+struct LogSegmentMsg {
+  std::uint64_t seq = 0;
+  std::uint64_t start_index = 0;
+  std::uint64_t start_fp = kNdChainSeed;
+  std::uint64_t end_fp = kNdChainSeed;
+  std::vector<NdEvent> entries;
+  /// Sidecars for this slice's kNetInput entries, in chain order.
+  std::vector<NetInputRec> inputs;
+};
+
+struct LogAckMsg {
+  std::uint64_t seq = 0;
+};
+
+/// Wire model: fixed header (seq, index, two fingerprints, length) plus a
+/// packed 26-byte entry (type byte + three varint-packed operands), plus
+/// each net-input sidecar's tuple header and payload bytes. Still orders
+/// of magnitude below the page delta for request/response workloads —
+/// that asymmetry is the whole point.
+inline constexpr std::uint64_t kLogSegmentHeaderWire = 40;
+inline constexpr std::uint64_t kLogEntryWire = 26;
+inline constexpr std::uint64_t kLogInputHeaderWire = 16;
+
+inline std::uint64_t log_segment_wire_bytes(const LogSegmentMsg& m) {
+  std::uint64_t n = kLogSegmentHeaderWire + kLogEntryWire * m.entries.size();
+  for (const NetInputRec& in : m.inputs) {
+    n += kLogInputHeaderWire + in.seg.len;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch state
 
 struct EpochStateMsg {
   std::uint64_t epoch = 0;
@@ -17,6 +112,11 @@ struct EpochStateMsg {
   /// Content pages run through the delta encoder (0 when compression off);
   /// the primary charges encode cost, the backup decode cost, per page.
   std::uint64_t compressed_pages = 0;
+  /// Event-log position at the instant this checkpoint was cut (replay
+  /// mode): count and chain fingerprint of every event whose effect is
+  /// already inside the image. Failover replays only what follows.
+  std::uint64_t nd_entries = 0;
+  std::uint64_t nd_fp = kNdChainSeed;
 };
 
 struct AckMsg {
@@ -31,6 +131,8 @@ struct HeartbeatMsg {
 using StateChannel = net::Channel<EpochStateMsg>;
 using AckChannel = net::Channel<AckMsg>;
 using HeartbeatChannel = net::Channel<HeartbeatMsg>;
+using LogChannel = net::Channel<LogSegmentMsg>;
+using LogAckChannel = net::Channel<LogAckMsg>;
 
 /// Number of read()-sized chunks the state of one epoch arrives in at the
 /// backup. Page data streams in 64 KiB chunks; TCP socket state arrives in

@@ -1,0 +1,79 @@
+#include "core/replay.hpp"
+
+#include "util/assert.hpp"
+
+namespace nlc::core::replay {
+
+bool ReplayEngine::ingest(const LogSegmentMsg& seg) {
+  // Sequence gap, duplicate, or reordering: the chain below would also
+  // catch it, but the seq check names the failure precisely.
+  if (seg.seq != next_seq_) {
+    ++rejected_;
+    return false;
+  }
+  // Continuity: the segment must extend the accepted prefix exactly.
+  if (seg.start_index != end_index_ || seg.start_fp != end_fp_) {
+    ++rejected_;
+    return false;
+  }
+  // Refold the entries: a truncated or corrupted segment cannot reproduce
+  // the end fingerprint it claims.
+  std::uint64_t fp = seg.start_fp;
+  for (const NdEvent& e : seg.entries) fp = nd_chain_fold(fp, e);
+  if (fp != seg.end_fp) {
+    ++rejected_;
+    return false;
+  }
+  end_index_ += seg.entries.size();
+  end_fp_ = seg.end_fp;
+  ++next_seq_;
+  segments_.push_back(seg);
+  return true;
+}
+
+void ReplayEngine::prune_below(std::uint64_t entry_index) {
+  // A segment straddling the boundary stays: replay() skips its covered
+  // prefix entry by entry.
+  while (!segments_.empty()) {
+    const LogSegmentMsg& front = segments_.front();
+    if (front.start_index + front.entries.size() > entry_index) break;
+    segments_.pop_front();
+  }
+}
+
+ReplayResult ReplayEngine::replay(std::uint64_t from_entry,
+                                  std::uint64_t from_fp) const {
+  ReplayResult r;
+  r.final_fp = from_fp;
+  if (from_entry >= end_index_) return r;
+  r.cost = costs_.replay_base;
+  for (const LogSegmentMsg& seg : segments_) {
+    std::uint64_t index = seg.start_index;
+    std::uint64_t fp = seg.start_fp;
+    bool touched = false;
+    for (const NdEvent& e : seg.entries) {
+      if (index >= from_entry) {
+        if (index == from_entry) {
+          // The committed checkpoint's stamp must lie on the logged chain,
+          // or the restored state is not the replay's starting point.
+          NLC_CHECK_MSG(fp == from_fp,
+                        "replay: committed checkpoint stamp is off the "
+                        "accepted event chain");
+          fp = from_fp;
+        }
+        fp = nd_chain_fold(fp, e);
+        ++r.entries_replayed;
+        touched = true;
+        r.final_fp = fp;
+      } else {
+        fp = nd_chain_fold(fp, e);
+      }
+      ++index;
+    }
+    if (touched) ++r.segments_replayed;
+  }
+  r.cost += static_cast<Time>(r.entries_replayed) * costs_.replay_per_entry;
+  return r;
+}
+
+}  // namespace nlc::core::replay

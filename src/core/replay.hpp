@@ -1,0 +1,70 @@
+// Backup-side deterministic replay engine (DESIGN.md §14).
+//
+// Accepts event-log segments in order, validating each one's chain fold
+// and its continuity against the accepted prefix before it may be
+// acknowledged — an ack is a promise that failover can re-reach every
+// released-output point. On failover, replay() walks the accepted log
+// from the committed checkpoint's stamp to the accepted end, charging
+// the deterministic re-execution cost and returning the final chain
+// fingerprint as the replayed-state identity.
+//
+// Everything in this namespace is a pure function of the committed log:
+// no wall clock, no ambient randomness (enforced by the nlc_lint
+// `replay-wallclock` rule).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/event_log.hpp"
+#include "util/time.hpp"
+
+namespace nlc::core::replay {
+
+struct ReplayResult {
+  /// Chain fingerprint of the replayed state — must equal the fingerprint
+  /// at the last acknowledged (hence possibly released) output point.
+  std::uint64_t final_fp = kNdChainSeed;
+  std::uint64_t entries_replayed = 0;
+  std::uint64_t segments_replayed = 0;
+  /// Simulated re-execution time, charged during recovery.
+  Time cost = 0;
+};
+
+class ReplayEngine {
+ public:
+  explicit ReplayEngine(LogCostModel costs = {}) : costs_(costs) {}
+
+  /// Validates and stores one segment. Returns false — and leaves the
+  /// accepted prefix untouched — on a sequence gap, a continuity break
+  /// against the accepted end, or a chain fold that does not reproduce
+  /// the claimed end fingerprint (truncated or corrupted entries).
+  bool ingest(const LogSegmentMsg& seg);
+
+  /// Drops fully-covered segments once a committed checkpoint includes
+  /// their effects (entries below `entry_index` can never be replayed).
+  void prune_below(std::uint64_t entry_index);
+
+  /// Replays the accepted log from the committed checkpoint boundary
+  /// (`from_entry` entries folded into `from_fp`) to the accepted end.
+  /// Empty when the checkpoint is already at or past the accepted end.
+  ReplayResult replay(std::uint64_t from_entry, std::uint64_t from_fp) const;
+
+  std::uint64_t accepted_end_index() const { return end_index_; }
+  std::uint64_t accepted_end_fp() const { return end_fp_; }
+  /// Accepted segments not yet pruned — the slice of the log a failover
+  /// replays; their input sidecars are what recovery re-injects.
+  const std::deque<LogSegmentMsg>& held_segments() const { return segments_; }
+  std::uint64_t segments_held() const { return segments_.size(); }
+  std::uint64_t segments_rejected() const { return rejected_; }
+
+ private:
+  LogCostModel costs_;
+  std::deque<LogSegmentMsg> segments_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t end_index_ = 0;
+  std::uint64_t end_fp_ = kNdChainSeed;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace nlc::core::replay

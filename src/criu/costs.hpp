@@ -69,6 +69,12 @@ struct KernelInterfaceCosts {
   /// (multiple syscalls per chunk, §V-D deficiency 3). Removing this is
   /// the "transfer dirty pages via shared memory" row of Table I.
   Time pipe_transfer_per_page = nlc::microseconds_f(6.0);
+  /// HyCoR-style COW dump (replay commit mode, DESIGN.md §14): the frozen
+  /// window only write-protects the dirty set; the copy-out overlaps the
+  /// next execute phase. Per-page cost of arming the protection (batched
+  /// mprotect / soft-dirty write-protect walk, including the amortized
+  /// fault-side bookkeeping the app pays on first touch after resume).
+  Time cow_protect_per_page = nlc::nanoseconds(150);
 
   // ---- Infrequently-modified state (§V-B) ---------------------------------
   /// Namespace collection: "may take up to 100 ms" (§I). Mean cost:

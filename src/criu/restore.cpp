@@ -9,7 +9,8 @@ namespace nlc::criu {
 sim::task<RestoreTimeline> RestoreEngine::restore(
     const CheckpointImage& img,
     const std::vector<const PageRecord*>& committed_pages,
-    const kern::DncHarvest& committed_fs_cache, bool rto_fixed) {
+    const kern::DncHarvest& committed_fs_cache, bool rto_fixed,
+    bool ack_runahead) {
   sim::Simulation& sim = kernel_->simulation();
   RestoreTimeline tl;
   tl.started = sim.now();
@@ -120,7 +121,8 @@ sim::task<RestoreTimeline> RestoreEngine::restore(
     tcp_->listen(lr.local);
   }
   for (const SocketRecord& sr : img.sockets) {
-    net::SocketId sid = tcp_->repair_restore(sr.repair, rto_fixed);
+    net::SocketId sid = tcp_->repair_restore(sr.repair, rto_fixed,
+                                             ack_runahead);
     kern::Process* p = kernel_->process(sr.pid);
     NLC_CHECK_MSG(p != nullptr, "socket record for unknown process");
     kern::FdEntry e;

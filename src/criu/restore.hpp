@@ -43,11 +43,14 @@ class RestoreEngine {
 
   /// Restores a container from `img` (process/socket/infrequent state of
   /// the last committed epoch) plus the accumulated committed memory pages
-  /// and file-system-cache state. `rto_fixed` selects the §V-E RTO clamp.
+  /// and file-system-cache state. `rto_fixed` selects the §V-E RTO clamp;
+  /// `ack_runahead` marks repaired sockets as replay-mode restores whose
+  /// peers may acknowledge output released after the checkpoint.
   sim::task<RestoreTimeline> restore(
       const CheckpointImage& img,
       const std::vector<const PageRecord*>& committed_pages,
-      const kern::DncHarvest& committed_fs_cache, bool rto_fixed);
+      const kern::DncHarvest& committed_fs_cache, bool rto_fixed,
+      bool ack_runahead = false);
 
  private:
   kern::Kernel* kernel_;

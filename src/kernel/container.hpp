@@ -17,6 +17,23 @@
 
 namespace nlc::kern {
 
+/// Observer for the nondeterministic inputs a container app consumes
+/// (DESIGN.md §14). In replay commit mode the primary agent installs its
+/// event log here; apps report each nondeterminism source at the point it
+/// takes effect. Recording is pure observation — installing a sink must
+/// never change simulated observables.
+class NondetSink {
+ public:
+  virtual ~NondetSink() = default;
+  /// A request was consumed from `sock` in commit order.
+  virtual void on_net_input(std::uint64_t sock, std::uint64_t tag,
+                            std::uint64_t payload_hash) = 0;
+  /// Periodic app timer `timer_id` fired for the `seq`-th time.
+  virtual void on_timer(std::uint64_t timer_id, std::uint64_t seq) = 0;
+  /// The app observed a seeded-RNG outcome (folded to one value per site).
+  virtual void on_rng_draw(std::uint64_t value) = 0;
+};
+
 enum class NamespaceType : std::uint8_t {
   kNet,
   kMount,
@@ -113,6 +130,12 @@ class Container {
   std::uint64_t service_ip() const { return service_ip_; }
   void set_service_ip(std::uint64_t ip) { service_ip_ = ip; }
 
+  /// Replay commit mode: where this container's apps report nondeterminism
+  /// (nullptr = no recording; the default, and always the case on a
+  /// restored backup container).
+  NondetSink* nondet_sink() const { return nondet_; }
+  void set_nondet_sink(NondetSink* sink) { nondet_ = sink; }
+
  private:
   ContainerId id_;
   std::string name_;
@@ -125,6 +148,7 @@ class Container {
   std::uint64_t infrequent_version_ = 1;
   std::uint64_t net_ns_id_ = 0;
   std::uint64_t service_ip_ = 0;
+  NondetSink* nondet_ = nullptr;
   bool frozen_ = false;
 };
 

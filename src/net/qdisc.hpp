@@ -55,6 +55,14 @@ class PlugQdisc {
   /// Installs (or clears, with nullptr) the audit observer.
   void set_observer(PlugObserver* o) { observer_ = o; }
 
+  /// Installs (or clears) a callback fired after each packet is buffered
+  /// while engaged. Replay commit mode arms its log flusher on this: a
+  /// response sitting in the plug is exactly what an event-log ack can
+  /// release early (DESIGN.md §14).
+  void set_enqueue_hook(std::function<void()> hook) {
+    enqueue_hook_ = std::move(hook);
+  }
+
   void enqueue(const Packet& p) {
     if (!engaged_) {
       transmit_(p);
@@ -63,6 +71,7 @@ class PlugQdisc {
     buffer_.push_back(Entry{p, false});
     ++buffered_total_;
     if (observer_ != nullptr) observer_->on_plug_enqueue(p);
+    if (enqueue_hook_) enqueue_hook_();
   }
 
   /// Marks the current epoch boundary; returns a marker id.
@@ -121,6 +130,7 @@ class PlugQdisc {
   TransmitFn transmit_;
   bool engaged_ = false;
   PlugObserver* observer_ = nullptr;
+  std::function<void()> enqueue_hook_;
   std::deque<Entry> buffer_;
   std::uint64_t next_marker_ = 1;
   std::uint64_t buffered_total_ = 0;

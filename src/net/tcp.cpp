@@ -117,6 +117,14 @@ void TcpStack::send(SocketId id, std::uint32_t len, std::uint64_t tag,
   s.write_queue.push_back(seg);
   s.snd_nxt += len;
 
+  // Replay-mode re-execution: bytes the peer acknowledged before the
+  // failover are regenerated, not retransmitted — consume the held ack
+  // instead of sending a duplicate the peer would discard anyway.
+  if (s.ack_runahead && seg.seq + seg.len <= s.peer_ack_high) {
+    process_ack(s, seg.seq + seg.len);
+    return;
+  }
+
   Packet p;
   p.src = s.local;
   p.dst = s.remote;
@@ -232,7 +240,8 @@ TcpRepairState TcpStack::repair_dump(SocketId id) const {
   return st;
 }
 
-SocketId TcpStack::repair_restore(const TcpRepairState& st, bool rto_fixed) {
+SocketId TcpStack::repair_restore(const TcpRepairState& st, bool rto_fixed,
+                                  bool ack_runahead) {
   Socket& s = create_socket();
   s.local = st.local;
   s.remote = st.remote;
@@ -240,6 +249,7 @@ SocketId TcpStack::repair_restore(const TcpRepairState& st, bool rto_fixed) {
   s.snd_una = st.snd_una;
   s.snd_nxt = st.snd_nxt;
   s.rcv_nxt = st.rcv_nxt;
+  s.ack_runahead = ack_runahead;
   s.peer_fin = st.peer_fin;
   s.write_queue.assign(st.write_queue.begin(), st.write_queue.end());
   s.read_queue.assign(st.read_queue.begin(), st.read_queue.end());
@@ -256,6 +266,29 @@ SocketId TcpStack::repair_restore(const TcpRepairState& st, bool rto_fixed) {
                     s.id);
   }
   return s.id;
+}
+
+void TcpStack::set_input_tap(IpAddr ip, InputTap tap) {
+  if (tap) {
+    input_taps_[ip] = std::move(tap);
+  } else {
+    input_taps_.erase(ip);
+  }
+}
+
+bool TcpStack::inject_repaired_input(Endpoint local, Endpoint remote,
+                                     const Segment& seg) {
+  auto t = by_tuple_.find({local, remote});
+  if (t == by_tuple_.end()) return false;  // connection not in checkpoint
+  Socket& s = sock(t->second);
+  if (s.state != TcpState::kEstablished) return false;
+  if (seg.seq + seg.len <= s.rcv_nxt) return false;  // already restored
+  NLC_CHECK_MSG(seg.seq == s.rcv_nxt,
+                "replay injection left a gap in the receive stream");
+  s.rcv_nxt += seg.len;
+  s.read_queue.push_back(seg);
+  signal_rx(s);
+  return true;
 }
 
 // ------------------------------------------------------------- data plane --
@@ -338,6 +371,15 @@ void TcpStack::handle_packet(const Packet& p) {
 
 void TcpStack::process_ack(Socket& s, std::uint64_t ack) {
   if (ack <= s.snd_una) return;
+  if (s.ack_runahead && ack > s.snd_nxt) {
+    // Repaired socket, replay commit mode: the peer acknowledges output
+    // released on a log ack after the restored checkpoint. Deterministic
+    // re-execution will regenerate exactly those bytes; hold the excess
+    // and apply what the restored stream can absorb now.
+    if (ack > s.peer_ack_high) s.peer_ack_high = ack;
+    ack = s.snd_nxt;
+    if (ack <= s.snd_una) return;
+  }
   NLC_CHECK_MSG(ack <= s.snd_nxt, "ACK beyond snd_nxt");
   s.snd_una = ack;
   while (!s.write_queue.empty() &&
@@ -403,7 +445,15 @@ void TcpStack::handle_for_socket(Socket& s, const Packet& p) {
       if (s.state != TcpState::kEstablished) return;
       if (p.seq == s.rcv_nxt) {
         s.rcv_nxt += p.len;
-        s.read_queue.push_back(Segment{p.seq, p.len, p.tag, p.payload});
+        Segment seg{p.seq, p.len, p.tag, p.payload};
+        // Receive-time input tap (replay commit mode): the event log must
+        // see the input before the ack below enters the egress plug, so
+        // any released output provably has its inputs shipped.
+        auto tap = input_taps_.find(s.local.ip);
+        if (tap != input_taps_.end()) {
+          tap->second(s.id, s.local, s.remote, seg);
+        }
+        s.read_queue.push_back(std::move(seg));
         signal_rx(s);
         send_control(s, TcpFlag::kAck);
       } else if (p.seq < s.rcv_nxt) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -155,7 +156,33 @@ class TcpStack : public PacketSink {
   /// `rto_fixed` selects the paper's 200 ms clamp vs the stock 1 s. If the
   /// write queue is non-empty the retransmission timer is armed (the data
   /// may have been lost with the primary).
-  SocketId repair_restore(const TcpRepairState& st, bool rto_fixed);
+  ///
+  /// `ack_runahead` (replay commit mode, DESIGN.md §14): the peer may
+  /// legitimately acknowledge bytes beyond the restored snd_nxt — output
+  /// released on a log ack after this checkpoint was cut. Such acks are
+  /// held and applied as deterministic re-execution regenerates the bytes;
+  /// regenerated segments the peer already acknowledged are not
+  /// retransmitted.
+  SocketId repair_restore(const TcpRepairState& st, bool rto_fixed,
+                          bool ack_runahead = false);
+
+  // --- Replay commit mode (DESIGN.md §14) ----------------------------------
+
+  /// Installs (or clears, with nullptr) a receive-time tap on every
+  /// established socket local to `ip`: called once per in-order data
+  /// segment, before the segment is acknowledged to the peer, so the
+  /// primary can make the input durable in its event log ahead of any
+  /// dependent output release. Observer only.
+  using InputTap = std::function<void(SocketId, Endpoint local,
+                                      Endpoint remote, const Segment&)>;
+  void set_input_tap(IpAddr ip, InputTap tap);
+
+  /// Failover re-injection of a logged input into the repaired socket for
+  /// (local, remote). Idempotent by sequence number: segments the restored
+  /// checkpoint already contains are skipped. Returns true if the segment
+  /// entered the read queue.
+  bool inject_repaired_input(Endpoint local, Endpoint remote,
+                             const Segment& seg);
 
   /// Attaches (or clears) the flight recorder; `track` places this stack's
   /// events on the primary- or backup-side net lane. Observer only.
@@ -173,6 +200,10 @@ class TcpStack : public PacketSink {
     std::uint64_t snd_una = 0;
     std::uint64_t snd_nxt = 0;
     std::uint64_t rcv_nxt = 0;
+    /// Replay-mode repaired socket: highest peer ack seen beyond snd_nxt,
+    /// applied as re-execution regenerates the acknowledged bytes.
+    std::uint64_t peer_ack_high = 0;
+    bool ack_runahead = false;
     bool peer_fin = false;
     bool fin_sent = false;
     std::deque<Segment> write_queue;
@@ -217,6 +248,7 @@ class TcpStack : public PacketSink {
   std::map<Endpoint, Listener> listeners_;
   std::map<IpAddr, std::unique_ptr<PlugQdisc>> plugs_;
   std::map<IpAddr, std::unique_ptr<IngressFilter>> filters_;
+  std::map<IpAddr, InputTap> input_taps_;
   SocketId next_id_ = 1;
   Port next_ephemeral_ = 40000;
   std::uint64_t retransmissions_ = 0;

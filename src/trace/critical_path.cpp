@@ -21,16 +21,30 @@ struct EpochTimes {
   Time release = kUnset;
 };
 
+// Raw per-log-segment timestamps (replay commit mode).
+struct SegTimes {
+  Time ship_b = kUnset, ship_e = kUnset;
+  Time release = kUnset;
+};
+
 Time clamp0(Time t) { return t < 0 ? 0 : t; }
 
 }  // namespace
 
 CriticalPath::CriticalPath(const std::vector<Event>& events) {
   std::map<std::uint64_t, EpochTimes> times;
+  std::map<std::uint64_t, SegTimes> seg_times;
   for (const Event& e : events) {
     const bool begin = e.type == EventType::kSpanBegin;
     const bool end = e.type == EventType::kSpanEnd;
     if (e.track == Track::kPrimary) {
+      if (e.stage == Stage::kLogRelease) {
+        if (e.type == EventType::kInstant) seg_times[e.arg].release = e.sim_ns;
+        continue;
+      }
+      // Log-segment instants are keyed by seq, not epoch: keep them out of
+      // the epoch map.
+      if (e.stage == Stage::kLogAckRecv) continue;
       EpochTimes& t = times[e.arg];
       switch (e.stage) {
         case Stage::kPause:
@@ -55,7 +69,22 @@ CriticalPath::CriticalPath(const std::vector<Event>& events) {
       EpochTimes& t = times[e.arg];
       if (begin) t.ship_b = e.sim_ns;
       if (end) t.ship_e = e.sim_ns;
+    } else if (e.track == Track::kPrimaryShip && e.stage == Stage::kLogShip) {
+      SegTimes& t = seg_times[e.arg];
+      if (begin) t.ship_b = e.sim_ns;
+      if (end) t.ship_e = e.sim_ns;
     }
+  }
+
+  for (const auto& [seq, t] : seg_times) {
+    if (t.ship_b == kUnset || t.release == kUnset) continue;
+    LogSegmentAttribution a;
+    a.seq = seq;
+    const Time ship_e = t.ship_e == kUnset ? t.ship_b : t.ship_e;
+    a.ship_ns = clamp0(ship_e - t.ship_b);
+    a.ack_wait_ns = clamp0(t.release - ship_e);
+    a.total_ns = clamp0(t.release - t.ship_b);
+    log_segments_.push_back(a);
   }
 
   for (const auto& [epoch, t] : times) {
@@ -106,9 +135,10 @@ const char* CriticalPath::stage_label(int ps) {
 std::string CriticalPath::table() const {
   std::string out;
   char line[160];
-  if (epochs_.empty()) {
+  if (epochs_.empty() && log_segments_.empty()) {
     return "critical path: no complete epochs in trace\n";
   }
+  if (epochs_.empty()) return log_table();
   std::array<Samples, kPsStageCount> per_stage;
   std::array<std::size_t, kPsStageCount> dominant_count{};
   Samples latency;
@@ -136,6 +166,36 @@ std::string CriticalPath::table() const {
                   stage_label(s), ps.mean(), ps.percentile(99), ps.max(),
                   total > 0 ? ps.sum() / total * 100.0 : 0.0,
                   dominant_count[static_cast<std::size_t>(s)]);
+    out += line;
+  }
+  out += log_table();
+  return out;
+}
+
+std::string CriticalPath::log_table() const {
+  if (log_segments_.empty()) return "";
+  std::string out;
+  char line[160];
+  Samples ship, ack_wait, total;
+  for (const auto& a : log_segments_) {
+    ship.add(to_millis(a.ship_ns));
+    ack_wait.add(to_millis(a.ack_wait_ns));
+    total.add(to_millis(a.total_ns));
+  }
+  std::snprintf(line, sizeof line,
+                "log commit path: %zu segments, ship->release mean %.3f ms "
+                "p99 %.3f ms\n",
+                log_segments_.size(), total.mean(), total.percentile(99));
+  out += line;
+  const double sum = total.sum();
+  const Samples* rows[] = {&ship, &ack_wait};
+  const char* labels[] = {"log-ship", "log-ack"};
+  for (int i = 0; i < 2; ++i) {
+    const Samples& ps = *rows[i];
+    std::snprintf(line, sizeof line,
+                  "  %-8s %10.3f %10.3f %10.3f %7.1f%%\n",
+                  labels[i], ps.mean(), ps.percentile(99), ps.max(),
+                  sum > 0 ? ps.sum() / sum * 100.0 : 0.0);
     out += line;
   }
   return out;

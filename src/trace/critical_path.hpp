@@ -42,6 +42,17 @@ struct EpochAttribution {
   int dominant = kPsFreeze;  // PathStage index with the largest share
 };
 
+/// Replay commit mode (DESIGN.md §14): per-log-segment decomposition of
+/// the output-commit delay into the two segments that replace ship +
+/// ack-wait — the log ship span (`log_ship`) and the wait for its ack
+/// (`log_ack`: ship end → release instant).
+struct LogSegmentAttribution {
+  std::uint64_t seq = 0;
+  Time ship_ns = 0;      // kLogShip span width
+  Time ack_wait_ns = 0;  // ship end → kLogRelease instant
+  Time total_ns = 0;     // ship begin → release
+};
+
 class CriticalPath {
  public:
   /// Builds the per-epoch attribution from a drained event stream. Epochs
@@ -50,6 +61,12 @@ class CriticalPath {
   explicit CriticalPath(const std::vector<Event>& events);
 
   const std::vector<EpochAttribution>& epochs() const { return epochs_; }
+
+  /// Per-log-segment attribution (empty outside replay commit mode or when
+  /// no segment completed its release while the recorder ran).
+  const std::vector<LogSegmentAttribution>& log_segments() const {
+    return log_segments_;
+  }
 
   /// The attribution for one epoch, or nullptr if it wasn't recorded.
   const EpochAttribution* find(std::uint64_t epoch) const;
@@ -61,7 +78,10 @@ class CriticalPath {
   static const char* stage_label(int ps);
 
  private:
+  /// The replay-mode rows of table() (log-ship / log-ack breakdown).
+  std::string log_table() const;
   std::vector<EpochAttribution> epochs_;
+  std::vector<LogSegmentAttribution> log_segments_;
 };
 
 }  // namespace nlc::trace

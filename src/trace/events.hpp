@@ -78,6 +78,16 @@ enum class Stage : std::uint16_t {
   kDirtyPages,         // counter: pages harvested this epoch
   kWireBytes,          // counter: bytes shipped this epoch
   kDrbdBufferedWrites, // counter: writes buffered and not yet committed
+  // replay commit mode (DESIGN.md §14); appended so older stage ids stay
+  // stable for the golden trace fixtures
+  kLogShip,     // span: event-log segment flush + ship (arg = seq)
+  kLogAckRecv,  // instant: log-segment ack arrived at the primary (arg = seq)
+  kLogRelease,  // instant: segment output released on log ack (arg = seq)
+  kLogRecv,     // span: backup receive + chain validation (arg = seq)
+  kLogAckSent,  // instant: segment ack sent to the primary (arg = seq)
+  kLogReject,   // instant: segment failed chain validation (arg = seq)
+  kReplay,      // span: failover deterministic replay (arg = epoch)
+  kLogBytes,    // counter: event-log wire bytes per shipped segment
   kCount,
 };
 
@@ -141,6 +151,14 @@ inline const char* stage_name(Stage s) {
     case Stage::kDirtyPages: return "dirty-pages";
     case Stage::kWireBytes: return "wire-bytes";
     case Stage::kDrbdBufferedWrites: return "drbd-buffered-writes";
+    case Stage::kLogShip: return "log-ship";
+    case Stage::kLogAckRecv: return "log-ack-recv";
+    case Stage::kLogRelease: return "log-release";
+    case Stage::kLogRecv: return "log-recv";
+    case Stage::kLogAckSent: return "log-ack-sent";
+    case Stage::kLogReject: return "log-reject";
+    case Stage::kReplay: return "replay";
+    case Stage::kLogBytes: return "log-bytes";
     case Stage::kCount: break;
   }
   return "?";

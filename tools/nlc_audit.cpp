@@ -107,6 +107,11 @@ int main(int argc, char** argv) {
         // Alternate the delta codec so both wire paths get audited; row 6
         // is every CRIU optimization without compression, row 7 adds it.
         cfg.nilicon = core::Options::table1_row(s % 2 == 1 ? 7 : 6);
+        // Alternate the output-commit mode on a longer period so every
+        // (delta, commit-mode) combination appears in the sweep. Replay
+        // seeds exercise the event-log chain, the release-on-log-ack path
+        // and the failover replay audit.
+        if (s % 4 >= 2) cfg.nilicon.commit_mode = core::CommitMode::kReplay;
         cfg.nilicon.seed = s;
         cfg.nilicon.audit_level = level;
         cfg.seed = s;
@@ -163,9 +168,11 @@ int main(int argc, char** argv) {
     }
     NLC_CHECK(r.audited);
     std::printf(
-        "seed=%llu workload=%-13s epochs=%-4llu occ=%llu epoch=%llu "
-        "store=%llu delta=%llu cow=%llu restore=%llu sweeps=%llu%s\n",
+        "seed=%llu workload=%-13s mode=%s epochs=%-4llu occ=%llu "
+        "epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu "
+        "replay=%llu sweeps=%llu%s\n",
         static_cast<unsigned long long>(s), spec.name.c_str(),
+        s % 4 >= 2 ? "replay" : "epoch ",
         static_cast<unsigned long long>(r.metrics.epochs_completed),
         static_cast<unsigned long long>(r.audit.output_commit_checks),
         static_cast<unsigned long long>(r.audit.epoch_commit_checks),
@@ -173,6 +180,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.audit.delta_replay_checks),
         static_cast<unsigned long long>(r.audit.payload_verifications),
         static_cast<unsigned long long>(r.audit.restore_equivalence_checks),
+        static_cast<unsigned long long>(r.audit.replay_equivalence_checks),
         static_cast<unsigned long long>(r.audit.sweeps),
         fault ? (r.recovered ? " [failover ok]" : "") : "");
     std::fflush(stdout);
@@ -183,6 +191,7 @@ int main(int argc, char** argv) {
     total.store_equivalence_checks += r.audit.store_equivalence_checks;
     total.delta_replay_checks += r.audit.delta_replay_checks;
     total.restore_equivalence_checks += r.audit.restore_equivalence_checks;
+    total.replay_equivalence_checks += r.audit.replay_equivalence_checks;
     total.sweeps += r.audit.sweeps;
     ++runs_passed;
   }
@@ -194,8 +203,8 @@ int main(int argc, char** argv) {
               runner.events_per_second() / 1e6);
   std::printf(
       "PASS %llu/%llu runs, %llu invariant checks "
-      "(occ=%llu epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu), "
-      "0 violations\n",
+      "(occ=%llu epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu "
+      "replay=%llu), 0 violations\n",
       static_cast<unsigned long long>(runs_passed),
       static_cast<unsigned long long>(seeds),
       static_cast<unsigned long long>(total.total()),
@@ -204,6 +213,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.store_equivalence_checks),
       static_cast<unsigned long long>(total.delta_replay_checks),
       static_cast<unsigned long long>(total.payload_verifications),
-      static_cast<unsigned long long>(total.restore_equivalence_checks));
+      static_cast<unsigned long long>(total.restore_equivalence_checks),
+      static_cast<unsigned long long>(total.replay_equivalence_checks));
   return 0;
 }

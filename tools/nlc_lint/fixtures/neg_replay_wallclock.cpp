@@ -1,0 +1,17 @@
+// Negative fixture: the replay engine stays log-driven (pure folds over
+// recorded entries); the one wall-clock read inside the namespace is an
+// annotated diagnostics path, and wall_now_ns outside the engine namespace
+// is out of the rule's scope entirely.
+namespace nlc::core::replay {
+inline unsigned long fold(unsigned long fp, unsigned long h) {
+  return (fp ^ h) * 0x9e3779b97f4a7c15ull;
+}
+// NLC_LINT_OK(replay-wallclock): crash-report timestamp, not replay state
+inline long stamp() { return static_cast<long>(util::wall_now_ns()); }
+}  // namespace nlc::core::replay
+
+namespace nlc::core {
+inline long epoch_deadline() {
+  return static_cast<long>(util::wall_now_ns());
+}
+}  // namespace nlc::core

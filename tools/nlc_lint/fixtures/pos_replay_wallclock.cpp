@@ -1,0 +1,8 @@
+// Positive fixture: wall clock + fresh Rng inside the replay engine.
+namespace nlc::core::replay {
+inline long now() { return static_cast<long>(util::wall_now_ns()); }
+inline int draw() {
+  nlc::Rng rng(7);
+  return static_cast<int>(rng.next());
+}
+}  // namespace nlc::core::replay

@@ -503,6 +503,58 @@ void rule_ptr_sort(RuleCtx& c) {
 }
 
 // ---------------------------------------------------------------------------
+// Replay-determinism rule (DESIGN.md §14).
+
+/// The deterministic replay engine (any `namespace ... replay { ... }`
+/// region, e.g. nlc::core::replay) must be a pure function of the
+/// committed event log: a wall-clock read or any non-logged randomness
+/// source would diverge the backup's replayed state from the outputs the
+/// primary already released.
+void rule_replay_wallclock(RuleCtx& c) {
+  const Toks& t = c.f.lex.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t, i, "namespace")) continue;
+    // `namespace replay {` or `namespace nlc::core::replay {`: the name
+    // path must end in `replay` right before the opening brace.
+    std::size_t j = i + 1;
+    while (is_any_ident(t, j) && is_punct(t, j + 1, "::")) j += 2;
+    if (!is_ident(t, j, "replay") || !is_punct(t, j + 1, "{")) continue;
+    std::size_t open = j + 1;
+    std::size_t close = match_forward(t, open, "{", "}");
+    if (close == npos) close = t.size();
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      const bool member = t[k - 1].kind == TokKind::kPunct &&
+                          (t[k - 1].text == "." || t[k - 1].text == "->");
+      if (is_ident(t, k, "wall_now_ns") && !member) {
+        c.add("replay-wallclock", t[k].line,
+              "wall_now_ns() inside the replay engine — replayed state "
+              "must be a pure function of the committed event log "
+              "(DESIGN.md §14); stamp times into the log at record time");
+      } else if (is_ident(t, k, "Rng") && !member) {
+        c.add("replay-wallclock", t[k].line,
+              "Rng inside the replay engine — fresh draws diverge replay "
+              "from the primary; replay the logged kRngDraw entries "
+              "instead (DESIGN.md §14)");
+      } else if (t[k].text == "random_device" ||
+                 kRandomEngines.count(t[k].text) > 0) {
+        c.add("replay-wallclock", t[k].line,
+              t[k].text +
+                  " inside the replay engine — non-logged entropy breaks "
+                  "replay equivalence (DESIGN.md §14)");
+      } else if ((t[k].text == "rand" || t[k].text == "srand") &&
+                 is_punct(t, k + 1, "(") && !member) {
+        c.add("replay-wallclock", t[k].line,
+              t[k].text +
+                  "() inside the replay engine — non-logged entropy breaks "
+                  "replay equivalence (DESIGN.md §14)");
+      }
+    }
+    i = close;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Ownership/concurrency rules.
 
 void rule_concurrency_owner(RuleCtx& c) {
@@ -562,7 +614,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "no-assert",      "no-naked-new", "no-raw-thread",     "no-raw-clock",
       "arena-alloc",    "raw-rand",     "unordered-iter",    "ptr-key",
-      "ptr-sort",       "concurrency-owner", "detached-this"};
+      "ptr-sort",       "concurrency-owner", "detached-this",
+      "replay-wallclock"};
   return kRules;
 }
 
@@ -590,6 +643,7 @@ void run_rules(const AnalyzedFile& f, const SymbolTable& sym,
   rule_ptr_sort(c);
   rule_concurrency_owner(c);
   rule_detached_this(c);
+  rule_replay_wallclock(c);
 }
 
 namespace {

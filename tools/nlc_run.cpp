@@ -40,6 +40,9 @@ void usage() {
       "  --seconds N        measurement window for servers (default 6)\n"
       "  --batch-seconds N  per-thread CPU quota for batch apps (default 3)\n"
       "  --epoch-ms N       NiLiCon epoch length (default 30)\n"
+      "  --commit M         output-commit scheme: epoch|replay (default\n"
+      "                     epoch; replay = HyCoR-style event-log release,\n"
+      "                     DESIGN.md §14)\n"
       "  --opt-level N      Table I cumulative optimization row 0..7\n"
       "                     (7 = all + delta-compressed dirty pages)\n"
       "  --clients N        override client connections\n"
@@ -97,6 +100,15 @@ int main(int argc, char** argv) {
       cfg.batch_work = nlc::seconds(std::atoi(next()));
     } else if (arg == "--epoch-ms") {
       cfg.nilicon.epoch_length = nlc::milliseconds(std::atoi(next()));
+    } else if (arg == "--commit") {
+      std::string m = next();
+      if (m == "epoch") cfg.nilicon.commit_mode = core::CommitMode::kEpoch;
+      else if (m == "replay")
+        cfg.nilicon.commit_mode = core::CommitMode::kReplay;
+      else {
+        std::fprintf(stderr, "unknown commit mode\n");
+        return 2;
+      }
     } else if (arg == "--opt-level") {
       cfg.nilicon = core::Options::table1_row(std::atoi(next()));
     } else if (arg == "--clients") {
@@ -177,6 +189,19 @@ int main(int argc, char** argv) {
                 r.metrics.dirty_pages.empty()
                     ? 0.0 : r.metrics.dirty_pages.mean(),
                 r.backup_cores);
+    if (cfg.nilicon.commit_mode == core::CommitMode::kReplay) {
+      std::printf("event log: %llu entries in %llu segments, %llu bytes, "
+                  "release latency %.3fms (epoch commit %.2fms)\n",
+                  static_cast<unsigned long long>(
+                      r.metrics.log_entries_recorded),
+                  static_cast<unsigned long long>(
+                      r.metrics.log_segments_shipped),
+                  static_cast<unsigned long long>(r.metrics.log_bytes_shipped),
+                  r.metrics.log_commit_latency_ms.empty()
+                      ? 0.0 : r.metrics.log_commit_latency_ms.mean(),
+                  r.metrics.commit_latency_ms.empty()
+                      ? 0.0 : r.metrics.commit_latency_ms.mean());
+    }
   }
   if (cfg.inject_fault) {
     std::printf("fault: recovered=%s interruption=%.0fms kv_errors=%llu "
