@@ -88,6 +88,12 @@ sim::task<> BackupAgent::state_loop() {
                       sim.now(), msg.epoch);
     }
 
+    // Once recovery has started, no new commit may begin: the restore is
+    // (or will be) built from the currently-committed image, and folding
+    // another epoch underneath it would desynchronize the replay cursor
+    // from the restored TCP state (see recovering_ in the header).
+    if (recovering_) co_return;
+
     // Commit: fold the epoch into the committed stores.
     commit_in_progress_ = true;
     if (audit_ != nullptr) audit_->on_commit_begin(msg.epoch);
@@ -147,8 +153,9 @@ sim::task<> BackupAgent::state_loop() {
     // segments can be dropped.
     committed_nd_entries_ = msg.nd_entries;
     committed_nd_fp_ = msg.nd_fp;
+    last_primary_epoch_len_ = msg.epoch_len;
     if (opts_.commit_mode == CommitMode::kReplay) {
-      replay_.prune_below(msg.nd_entries);
+      metrics_->log_pruned_segments += replay_.prune_below(msg.nd_entries);
     }
     commit_in_progress_ = false;
     commit_idle_->set();
@@ -173,6 +180,10 @@ sim::task<> BackupAgent::log_loop() {
     co_await sim.sleep_for(cost);
     metrics_->backup_busy += cost;
     const bool accepted = replay_.ingest(seg);
+    if (accepted &&
+        replay_.retained_bytes() > metrics_->log_retained_bytes_peak) {
+      metrics_->log_retained_bytes_peak = replay_.retained_bytes();
+    }
     if (audit_ != nullptr) audit_->on_log_ingested(seg, accepted);
     if (trace_ != nullptr) {
       trace_->span_end(trace::Track::kBackup, trace::Stage::kLogRecv,
@@ -260,6 +271,10 @@ criu::CheckpointImage BackupAgent::take_restore_image() {
 sim::task<> BackupAgent::recover() {
   sim::Simulation& sim = kernel_->simulation();
   criu::KernelInterfaceCosts costs;  // restore-side cost model
+  // From here on the committed stores are frozen for the restore: an
+  // in-flight commit below drains, but no new one may start (the flag is
+  // checked in state_loop before commit-begin).
+  recovering_ = true;
   Time t0 = sim.now();
   if (audit_ != nullptr) audit_->on_recovery_started(committed_epoch_);
 

@@ -70,6 +70,9 @@ class BackupAgent {
   void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
   std::uint64_t committed_epoch() const { return committed_epoch_; }
+  /// Execute-phase length stamped on the newest committed checkpoint —
+  /// the primary's adapted cadence as seen from this end of the wire.
+  Time last_primary_epoch_len() const { return last_primary_epoch_len_; }
   bool recovered() const { return recovered_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
   const criu::PageStore& page_store() const { return *pages_; }
@@ -113,6 +116,16 @@ class BackupAgent {
   bool armed_ = false;
   bool recovered_ = false;
   bool commit_in_progress_ = false;
+  /// Set at the instant recovery starts. A commit already in progress is
+  /// waited out (its state fully arrived — it belongs in the restored
+  /// image), but no NEW commit may begin: the restore's modeled sleeps
+  /// span real simulated time, and a checkpoint draining from the state
+  /// channel during them would advance committed_nd_entries_ / prune the
+  /// log / fold pages underneath a restore already built from the older
+  /// image — the replay filter would then skip inputs the restored TCP
+  /// state has never seen, leaving a receive-stream gap at re-injection.
+  /// Uncommitted in-flight state dies with the primary (§IV).
+  bool recovering_ = false;
   std::unique_ptr<sim::Event> commit_idle_;
   RecoveryMetrics recovery_;
   criu::BackupCosts backup_costs_;
@@ -124,6 +137,7 @@ class BackupAgent {
   /// starts from at failover.
   std::uint64_t committed_nd_entries_ = 0;
   std::uint64_t committed_nd_fp_ = kNdChainSeed;
+  Time last_primary_epoch_len_ = 0;
 };
 
 }  // namespace nlc::core

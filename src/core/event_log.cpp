@@ -28,6 +28,7 @@ void EventLog::record_net_input(net::SocketId sock, net::Endpoint local,
   rec.local = local;
   rec.remote = remote;
   rec.seg = seg;
+  pending_wire_ += kLogInputHeaderWire + seg.len;
   pending_inputs_.push_back(std::move(rec));
   record(NdEvent{NdEventType::kNetInput, sock, seg.tag, h});
 }
@@ -36,6 +37,7 @@ void EventLog::record(const NdEvent& e) {
   chain_fp_ = nd_chain_fold(chain_fp_, e);
   ++entries_total_;
   pending_.push_back(e);
+  pending_wire_ += kLogEntryWire;
   if (on_append_) on_append_();
 }
 
@@ -49,6 +51,7 @@ LogSegmentMsg EventLog::cut_segment() {
   pending_.clear();
   seg.inputs = std::move(pending_inputs_);
   pending_inputs_.clear();
+  pending_wire_ = 0;
   pending_start_index_ = entries_total_;
   pending_start_fp_ = chain_fp_;
   return seg;

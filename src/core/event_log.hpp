@@ -61,6 +61,10 @@ class EventLog final : public kern::NondetSink {
   /// Chain fingerprint over all recorded entries.
   std::uint64_t chain_fp() const { return chain_fp_; }
   std::uint64_t pending_entries() const { return pending_.size(); }
+  /// Wire bytes the pending entries and input sidecars would occupy in the
+  /// next segment (sans header). Maintained incrementally: the adaptive
+  /// segment-cut policy polls it per flush tick as its pressure signal.
+  std::uint64_t pending_wire_bytes() const { return pending_wire_; }
   std::uint64_t segments_cut() const { return next_seq_; }
 
   /// Moves the pending entries into a fresh segment. The caller must
@@ -73,6 +77,7 @@ class EventLog final : public kern::NondetSink {
 
   std::vector<NdEvent> pending_;
   std::vector<NetInputRec> pending_inputs_;
+  std::uint64_t pending_wire_ = 0;
   std::uint64_t pending_start_index_ = 0;
   std::uint64_t pending_start_fp_ = kNdChainSeed;
   std::uint64_t entries_total_ = 0;

@@ -43,6 +43,26 @@ struct ReplicationMetrics {
   /// client-visible output-commit delay in replay mode (compare against
   /// `commit_latency_ms`, which still tracks the full epoch commit).
   Samples log_commit_latency_ms;
+  /// High-water mark of log bytes the backup holds accepted but not yet
+  /// pruned. Checkpoint-commit truncation keeps this bounded (≈ 2 epochs
+  /// of segments) regardless of run length — regression-tested with 1 s
+  /// epochs.
+  std::uint64_t log_retained_bytes_peak = 0;
+  /// Segments the backup dropped because a committed checkpoint already
+  /// contained their effects.
+  std::uint64_t log_pruned_segments = 0;
+
+  // ---- Adaptive epoch controller (DESIGN.md §15) --------------------------
+  /// Execute-phase length each completed epoch actually ran (constant
+  /// under EpochPolicy::kFixed; nlc_run renders the histogram).
+  Samples epoch_len_ms;
+  std::uint64_t ctl_grow_steps = 0;
+  std::uint64_t ctl_shrink_steps = 0;
+  /// Epoch of the controller's last length change (0 = never adapted):
+  /// the convergence point.
+  std::uint64_t ctl_last_change_epoch = 0;
+  /// Length the controller had converged to when the run ended.
+  Time ctl_final_epoch_len = 0;
 
   // ---- Zero-copy page pipeline + delta compression (extension) ------------
   /// Per-epoch page-payload compression ratio (wire / raw; 1.0 = no gain).

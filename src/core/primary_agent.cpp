@@ -20,6 +20,7 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
       delta_(opts.resolved_page_shards(), opts.resolved_simd_tier()),
       rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
       ack_event_(std::make_unique<sim::Event>(kernel.simulation())),
+      controller_(opts, log_costs_),
       log_flush_event_(std::make_unique<sim::Event>(kernel.simulation())) {
   metrics_->page_shards_used = delta_.shards();
   metrics_->simd_tier_used = delta_.simd_tier();
@@ -115,7 +116,11 @@ sim::task<> PrimaryAgent::start() {
 sim::task<> PrimaryAgent::epoch_loop() {
   sim::Simulation& sim = kernel_->simulation();
   while (running_) {
-    co_await sim.sleep_for(opts_.epoch_length);  // execute phase
+    // The controller's current length; stamped into the epoch's record at
+    // the checkpoint so observations attribute it to the right epoch even
+    // after the controller has moved on.
+    last_execute_len_ = controller_.epoch_length();
+    co_await sim.sleep_for(last_execute_len_);  // execute phase
     if (!running_) break;
     // The ack gates output *release*, not the next epoch: transfer of
     // epoch k overlaps execution of k+1 (Remus's asynchronous pipeline).
@@ -172,6 +177,10 @@ sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged,
   // later epoch's send overtake the earlier one on the channel.
   Time start = sim.now() > ship_busy_until_ ? sim.now() : ship_busy_until_;
   ship_busy_until_ = start + cost;
+  // Span includes the queue wait behind the previous epoch's ship — same
+  // convention as the trace span, so the controller and the post-hoc
+  // critical path attribute identically.
+  if (EpochRec* rec = find_rec(epoch)) rec->ship_b = sim.now();
   if (trace_ != nullptr) {
     trace_->span_begin(trace::Track::kPrimaryShip, trace::Stage::kShip,
                        sim.now(), epoch);
@@ -179,6 +188,7 @@ sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged,
   co_await sim.sleep_for(ship_busy_until_ - sim.now());
   std::uint64_t bytes = msg.wire_bytes;
   state_out_->send(std::move(msg), bytes);
+  if (EpochRec* rec = find_rec(epoch)) rec->ship_e = sim.now();
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimaryShip, trace::Stage::kShip,
                      sim.now(), epoch);
@@ -190,7 +200,17 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   const auto& costs = ckpt_.costs();
   std::uint64_t epoch = epoch_;
   EpochRec& rec = emplace_rec(epoch);
+  rec.initial = initial;
+  rec.len_used = initial ? 0 : last_execute_len_;
   rec.stop_begin = sim.now();
+  // Pause-to-pause wall time: the denominator of the controller's
+  // overhead fraction. Zero for the first steady epoch (its predecessor
+  // is the initial full sync, whose wall time is no epoch's).
+  if (!initial) {
+    rec.epoch_wall =
+        last_steady_stop_begin_ >= 0 ? sim.now() - last_steady_stop_begin_ : 0;
+    last_steady_stop_begin_ = sim.now();
+  }
   if (trace_ != nullptr) {
     trace_->span_begin(trace::Track::kPrimary, trace::Stage::kPause,
                        sim.now(), epoch);
@@ -244,6 +264,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   ho.pool = ppool;
   const criu::InfrequentState* cached =
       opts_.cache_infrequent_state ? cache_.get() : nullptr;
+  rec.harvest_b = sim.now();
   if (trace_ != nullptr) {
     trace_->span_begin(trace::Track::kPrimary, trace::Stage::kHarvest,
                        sim.now(), epoch);
@@ -270,6 +291,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   co_await sim.sleep_for(stop_cost);
   metrics_->primary_agent_busy += stop_cost;
   metrics_->payload_copies_avoided += hr.content_pages;
+  rec.harvest_e = sim.now();
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimary, trace::Stage::kHarvest,
                      sim.now(), epoch);
@@ -312,6 +334,15 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   // failover replays only events recorded after it.
   msg.nd_entries = nd_log_.entries_total();
   msg.nd_fp = nd_log_.chain_fp();
+  msg.epoch_len = rec.len_used;
+  // Controller feed: dirty set, page wire bytes and the epoch's log-stream
+  // growth (entries recorded / bytes shipped since the last checkpoint).
+  rec.dirty = dirty;
+  rec.wire_bytes = bytes;
+  rec.nd_entries_delta = nd_log_.entries_total() - nd_entries_mark_;
+  nd_entries_mark_ = nd_log_.entries_total();
+  rec.log_bytes_delta = metrics_->log_bytes_shipped - log_bytes_ctl_mark_;
+  log_bytes_ctl_mark_ = metrics_->log_bytes_shipped;
   if (audit_ != nullptr) audit_->on_state_ready(msg, initial);
   if (trace_ != nullptr) {
     trace_->counter(trace::Track::kPrimary, trace::Stage::kDirtyPages,
@@ -347,6 +378,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   // still armed so the epoch ack retires it (and its commit latency).
   rec.marker_inserted = true;
   kernel_->thaw_container(cid_);
+  rec.pause_end = sim.now();
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimary, trace::Stage::kPause,
                      sim.now(), epoch);
@@ -361,6 +393,7 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
     metrics_->stop_time_ms.add(to_millis(stop));
     metrics_->state_bytes.add(static_cast<double>(bytes));
     metrics_->dirty_pages.add(static_cast<double>(dirty));
+    metrics_->epoch_len_ms.add(to_millis(rec.len_used));
     ++metrics_->epochs_completed;
     metrics_->bytes_shipped += bytes;
   }
@@ -399,7 +432,54 @@ sim::task<> PrimaryAgent::ack_loop() {
   }
 }
 
+void PrimaryAgent::feed_controller(const EpochRec& rec, Time now) {
+  // Same segment math as trace::CriticalPath, over the record's stamps
+  // (encode is zero-width in simulated time; its modeled cost rides the
+  // ship span). Unset stamps collapse to their predecessor, as in the
+  // post-hoc analyzer.
+  auto clamp0 = [](Time t) { return t < 0 ? Time{0} : t; };
+  const Time harvest_b = rec.harvest_b > 0 ? rec.harvest_b : rec.stop_begin;
+  const Time harvest_e = rec.harvest_e > 0 ? rec.harvest_e : harvest_b;
+  const Time ship_b = rec.ship_b > 0 ? rec.ship_b : harvest_e;
+  const Time ship_e = rec.ship_e > 0 ? rec.ship_e : ship_b;
+  epochctl::EpochObservation o;
+  o.epoch = rec.epoch;
+  auto& s = o.path.stage_ns;
+  s[trace::kPsFreeze] = clamp0(harvest_b - rec.stop_begin);
+  s[trace::kPsHarvest] = clamp0(harvest_e - harvest_b);
+  s[trace::kPsEncode] = 0;
+  s[trace::kPsTail] = clamp0(ship_b - harvest_e);
+  s[trace::kPsShip] = clamp0(ship_e - ship_b);
+  s[trace::kPsAckWait] = clamp0(now - ship_e);
+  o.path.commit_latency = clamp0(now - rec.stop_begin);
+  o.stop = clamp0(rec.pause_end - rec.stop_begin);
+  o.epoch_wall = rec.epoch_wall;
+  o.dirty_pages = rec.dirty;
+  o.wire_bytes = rec.wire_bytes;
+  o.log_entries = rec.nd_entries_delta;
+  o.log_bytes = rec.log_bytes_delta;
+  // Released-output presence since the previous observation (the epoch-mode
+  // shrink gate). released_total() is cumulative across release paths
+  // (epoch markers and replay log acks alike).
+  const std::uint64_t released_now = plug().released_total();
+  o.output_packets = released_now - released_mark_;
+  released_mark_ = released_now;
+  o.plug_drained = last_release_drained_;
+  // Container capacity signal: CPU time consumed since the previous feed.
+  const Time cpu_now = kernel_->container(cid_)->cpu().usage();
+  o.busy = cpu_now - cpu_mark_;
+  cpu_mark_ = cpu_now;
+  controller_.observe(o);
+  metrics_->ctl_grow_steps = controller_.grow_steps();
+  metrics_->ctl_shrink_steps = controller_.shrink_steps();
+  metrics_->ctl_last_change_epoch = controller_.last_change_epoch();
+  metrics_->ctl_final_epoch_len = controller_.epoch_length();
+}
+
 void PrimaryAgent::release_epoch(EpochRec& rec) {
+  if (!rec.initial) {
+    feed_controller(rec, kernel_->simulation().now());
+  }
   if (replay_mode()) {
     // Output already flows on log acks; the epoch ack only marks the
     // asynchronous page-delta commit and retires the pipeline record.
@@ -420,6 +500,10 @@ void PrimaryAgent::release_epoch(EpochRec& rec) {
   } else {
     plug().release_to_marker(rec.marker);
   }
+  // Post-release plug state for the controller's next observation: an
+  // empty plug here means this commit drained all outstanding output (the
+  // request-response regime the epoch-mode shrink gate looks for).
+  last_release_drained_ = plug().pending_bytes() == 0;
   metrics_->commit_latency_ms.add(
       to_millis(kernel_->simulation().now() - rec.stop_begin));
   erase_rec(rec.epoch);
@@ -434,6 +518,19 @@ sim::task<> PrimaryAgent::log_flush_loop() {
     // Coalesce: output enqueued within the window shares one segment (and
     // one replication-link round trip).
     co_await sim.sleep_for(opts_.log_flush_delay);
+    if (opts_.epoch_policy == EpochPolicy::kAdaptive) {
+      // Adaptive segment cut (DESIGN.md §15): instead of shipping after
+      // every flush tick, keep coalescing until enough buffered-output or
+      // pending-log bytes justify a wire round trip — fewer, larger log
+      // ships under long epochs — but never hold a response longer than
+      // log_cut_max_delay past the first wake.
+      const Time armed_at = sim.now();
+      while (running_ && plug().pending_bytes() < opts_.log_cut_bytes &&
+             nd_log_.pending_wire_bytes() < opts_.log_cut_bytes &&
+             sim.now() - armed_at < opts_.log_cut_max_delay) {
+        co_await sim.sleep_for(opts_.log_flush_delay);
+      }
+    }
     // Cut and marker insert run in one scheduler step, so the marker
     // bounds exactly the output produced by the events in this segment.
     LogSegmentMsg seg = nd_log_.cut_segment();

@@ -16,6 +16,7 @@
 
 #include "blockdev/drbd.hpp"
 #include "core/audit_hooks.hpp"
+#include "core/epoch_controller.hpp"
 #include "core/event_log.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
@@ -60,6 +61,9 @@ class PrimaryAgent {
 
   std::uint64_t current_epoch() const { return epoch_; }
   std::uint64_t acked_epoch() const { return acked_epoch_; }
+  /// The epoch-length controller (DESIGN.md §15); read-only for tests and
+  /// the run drivers' controller summary.
+  const epochctl::EpochController& controller() const { return controller_; }
 
  private:
   sim::task<> epoch_loop();
@@ -117,9 +121,25 @@ class PrimaryAgent {
   struct EpochRec {
     std::uint64_t epoch = 0;
     bool live = false;
+    bool initial = false;
     std::uint64_t marker = 0;
     bool marker_inserted = false;
     Time stop_begin = 0;
+    // Controller feed (DESIGN.md §15): absolute sim-time stamps of the
+    // commit-path stages — the same points trace::CriticalPath scrapes
+    // from the flight recorder, assembled online so adaptation needs no
+    // recorder attached.
+    Time len_used = 0;    // execute-phase length this epoch ran
+    Time epoch_wall = 0;  // previous steady pause begin → this pause begin
+    Time pause_end = 0;
+    Time harvest_b = 0;
+    Time harvest_e = 0;
+    Time ship_b = 0;
+    Time ship_e = 0;
+    std::uint64_t dirty = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t nd_entries_delta = 0;
+    std::uint64_t log_bytes_delta = 0;
   };
   static constexpr std::size_t kEpochWindow = 8;  // > max in-flight epochs
   EpochRec& emplace_rec(std::uint64_t epoch);
@@ -129,6 +149,10 @@ class PrimaryAgent {
   /// record commit latency, retire the record. Shared by the synchronous
   /// ship path and the ack_loop.
   void release_epoch(EpochRec& rec);
+  /// Builds the EpochObservation from the record's stamps and feeds the
+  /// controller at the release point (acks are monotone, so observations
+  /// arrive in epoch order).
+  void feed_controller(const EpochRec& rec, Time now);
   std::array<EpochRec, kEpochWindow> epoch_recs_;
 
   // ---- Replay commit mode (DESIGN.md §14) ---------------------------------
@@ -136,6 +160,32 @@ class PrimaryAgent {
   /// in start() when commit_mode == kReplay.
   EventLog nd_log_;
   LogCostModel log_costs_;
+
+  // ---- Adaptive epoch control (DESIGN.md §15) -----------------------------
+  /// Declared after log_costs_: its replay-time estimates use the cost
+  /// model. A pass-through pacer under EpochPolicy::kFixed.
+  epochctl::EpochController controller_;
+  /// Length the epoch_loop chose for the execute phase now running; the
+  /// next checkpoint stamps it into its record and EpochStateMsg.
+  Time last_execute_len_ = 0;
+  /// Pause begin of the previous steady checkpoint (-1 before the first):
+  /// the epoch_wall numerator's other end.
+  Time last_steady_stop_begin_ = -1;
+  /// nd_log_.entries_total() at the previous checkpoint, for the
+  /// controller's per-epoch log-entry rate.
+  std::uint64_t nd_entries_mark_ = 0;
+  /// plug().released_total() at the previous controller feed, for the
+  /// per-epoch released-output presence signal.
+  std::uint64_t released_mark_ = 0;
+  /// Whether the previous epoch release left the plug empty (all
+  /// outstanding output committed) — the controller's drain signal.
+  bool last_release_drained_ = false;
+  /// Container CPU usage at the previous controller feed (capacity gate).
+  Time cpu_mark_ = 0;
+  /// log_bytes_shipped at the previous checkpoint (controller feed; kept
+  /// separate from log_bytes_at_last_epoch_, which the delta-stats stamp
+  /// owns and only updates when compression is on).
+  std::uint64_t log_bytes_ctl_mark_ = 0;
   /// Wakes the flush loop when buffered output is waiting on a log ship.
   std::unique_ptr<sim::Event> log_flush_event_;
   /// In-flight segments: seq -> (plug marker bounding its output, cut

@@ -117,6 +117,11 @@ struct EpochStateMsg {
   /// already inside the image. Failover replays only what follows.
   std::uint64_t nd_entries = 0;
   std::uint64_t nd_fp = kNdChainSeed;
+  /// Execute-phase length the epoch ran (adaptive controller, DESIGN.md
+  /// §15). Observability for the backup: it sizes nothing off this today,
+  /// but records the primary's current cadence so operators (and tests)
+  /// can see adaptation from either end of the wire.
+  Time epoch_len = 0;
 };
 
 struct AckMsg {

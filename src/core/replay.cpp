@@ -27,18 +27,23 @@ bool ReplayEngine::ingest(const LogSegmentMsg& seg) {
   end_index_ += seg.entries.size();
   end_fp_ = seg.end_fp;
   ++next_seq_;
+  retained_bytes_ += log_segment_wire_bytes(seg);
   segments_.push_back(seg);
   return true;
 }
 
-void ReplayEngine::prune_below(std::uint64_t entry_index) {
+std::size_t ReplayEngine::prune_below(std::uint64_t entry_index) {
   // A segment straddling the boundary stays: replay() skips its covered
   // prefix entry by entry.
+  std::size_t pruned = 0;
   while (!segments_.empty()) {
     const LogSegmentMsg& front = segments_.front();
     if (front.start_index + front.entries.size() > entry_index) break;
+    retained_bytes_ -= log_segment_wire_bytes(front);
     segments_.pop_front();
+    ++pruned;
   }
+  return pruned;
 }
 
 ReplayResult ReplayEngine::replay(std::uint64_t from_entry,

@@ -43,7 +43,9 @@ class ReplayEngine {
 
   /// Drops fully-covered segments once a committed checkpoint includes
   /// their effects (entries below `entry_index` can never be replayed).
-  void prune_below(std::uint64_t entry_index);
+  /// Returns how many segments were dropped — this truncation is what
+  /// keeps retained_bytes() bounded under long (≈1 s) epochs.
+  std::size_t prune_below(std::uint64_t entry_index);
 
   /// Replays the accepted log from the committed checkpoint boundary
   /// (`from_entry` entries folded into `from_fp`) to the accepted end.
@@ -56,6 +58,9 @@ class ReplayEngine {
   /// replays; their input sidecars are what recovery re-injects.
   const std::deque<LogSegmentMsg>& held_segments() const { return segments_; }
   std::uint64_t segments_held() const { return segments_.size(); }
+  /// Wire bytes of the held (accepted, un-pruned) segments, maintained
+  /// incrementally on ingest/prune — the backup's log-memory footprint.
+  std::uint64_t retained_bytes() const { return retained_bytes_; }
   std::uint64_t segments_rejected() const { return rejected_; }
 
  private:
@@ -65,6 +70,7 @@ class ReplayEngine {
   std::uint64_t end_index_ = 0;
   std::uint64_t end_fp_ = kNdChainSeed;
   std::uint64_t rejected_ = 0;
+  std::uint64_t retained_bytes_ = 0;
 };
 
 }  // namespace nlc::core::replay

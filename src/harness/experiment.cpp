@@ -157,6 +157,7 @@ RunResult run_experiment(const RunConfig& cfg) {
     Time start = 0, end = 0;
     std::uint64_t completed_at_start = 0;
     Time cpu_at_start = 0, backup_busy_at_start = 0;
+    std::uint64_t wire_at_start = 0, epochs_at_start = 0;
     Time fault_time = -1;
     std::uint64_t completed_at_fault = 0;
   };
@@ -206,6 +207,8 @@ RunResult run_experiment(const RunConfig& cfg) {
       win->completed_at_start = client.completed();
       win->cpu_at_start = cont.cpu().usage();
       win->backup_busy_at_start = cl.metrics.backup_busy;
+      win->wire_at_start = cl.metrics.bytes_shipped;
+      win->epochs_at_start = cl.metrics.epochs_completed;
 
       if (cfg.inject_fault) {
         double frac = 0.1 + 0.8 * rng.uniform01();
@@ -227,6 +230,8 @@ RunResult run_experiment(const RunConfig& cfg) {
       win->start = cl.sim.now();
       win->cpu_at_start = cont.cpu().usage();
       win->backup_busy_at_start = cl.metrics.backup_busy;
+      win->wire_at_start = cl.metrics.bytes_shipped;
+      win->epochs_at_start = cl.metrics.epochs_completed;
       if (cfg.inject_fault) {
         // Middle 80% of the expected runtime.
         double frac = 0.1 + 0.8 * rng.uniform01();
@@ -277,6 +282,11 @@ RunResult run_experiment(const RunConfig& cfg) {
     if (!res.latencies_ms.empty()) {
       res.mean_latency_ms = res.latencies_ms.mean();
     }
+    for (const auto& [sent, lat] : client.latency_trace()) {
+      if (sent >= win->start && sent < win->end) {
+        res.latencies_window_ms.add(to_millis(lat));
+      }
+    }
   } else if (batch->done()) {
     res.batch_runtime = batch->runtime();
     res.batch_ideal = batch->ideal_runtime();
@@ -287,6 +297,8 @@ RunResult run_experiment(const RunConfig& cfg) {
     res.batch_ideal = batch->ideal_runtime();
   }
   res.metrics = cl.metrics;
+  res.wire_bytes_window = cl.metrics.bytes_shipped - win->wire_at_start;
+  res.epochs_window = cl.metrics.epochs_completed - win->epochs_at_start;
   kern::Kernel* end_kernel =
       (cfg.inject_fault && cl.backup_agent && cl.backup_agent->recovered())
           ? cl.backup_kernel.get()

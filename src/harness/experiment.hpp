@@ -71,6 +71,19 @@ struct RunResult {
   // Replication internals (empty for stock runs).
   core::ReplicationMetrics metrics;
 
+  /// Checkpoint (page/state) wire bytes shipped inside the measurement
+  /// window only — metrics.bytes_shipped also counts warmup, including an
+  /// adaptive controller's ramp, so wire-rate comparisons between epoch
+  /// policies use this steady-state figure (bench_epoch_sweep).
+  std::uint64_t wire_bytes_window = 0;
+  std::uint64_t epochs_window = 0;
+  /// Latencies of requests *sent* inside the measurement window only —
+  /// latencies_ms spans the whole run including warmup, which an adaptive
+  /// controller's ramp pollutes (a handful of pre-convergence samples can
+  /// own the p99 tail). Percentile comparisons between epoch policies use
+  /// this steady-state set.
+  Samples latencies_window_ms;
+
   // Table V.
   double active_cores = 0;
   double backup_cores = 0;

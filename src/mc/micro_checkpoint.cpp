@@ -12,6 +12,7 @@ McDriver::McDriver(McOptions opts, kern::Kernel& kernel, net::TcpStack& tcp,
                    core::ReplicationMetrics& metrics)
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid),
       state_out_(&state_out), ack_in_(&ack_in), metrics_(&metrics),
+      pacer_(core::epochctl::EpochController::fixed(opts.epoch_length)),
       rng_(opts.seed ^ 0x4D43ull),
       ack_event_(std::make_unique<sim::Event>(kernel.simulation())) {}
 
@@ -41,7 +42,7 @@ sim::task<> McDriver::start() {
 sim::task<> McDriver::epoch_loop() {
   sim::Simulation& sim = kernel_->simulation();
   while (running_) {
-    co_await sim.sleep_for(opts_.epoch_length);
+    co_await sim.sleep_for(pacer_.epoch_length());
     if (!running_) break;
     NLC_CHECK(epoch_ >= 1);
     if (epoch_ >= 2) co_await wait_acked(epoch_ - 2);
@@ -101,6 +102,7 @@ sim::task<> McDriver::checkpoint_once(bool initial) {
     metrics_->stop_time_ms.add(to_millis(stop));
     metrics_->state_bytes.add(static_cast<double>(bytes));
     metrics_->dirty_pages.add(static_cast<double>(dirty));
+    metrics_->epoch_len_ms.add(to_millis(pacer_.epoch_length()));
     ++metrics_->epochs_completed;
     metrics_->bytes_shipped += bytes;
   }

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 
+#include "core/epoch_controller.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "kernel/kernel.hpp"
@@ -72,6 +73,11 @@ class McDriver {
   core::StateChannel* state_out_;
   core::AckChannel* ack_in_;
   core::ReplicationMetrics* metrics_;
+  /// Fixed-policy pacer: MC always runs the configured epoch length, but
+  /// pacing through the same controller abstraction as the NiLiCon agents
+  /// keeps one epoch-cadence seam across drivers (DESIGN.md §15) and
+  /// stamps epoch_len_ms for the comparison benches.
+  core::epochctl::EpochController pacer_;
   Rng rng_;
 
   bool running_ = true;

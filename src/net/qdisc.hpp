@@ -70,6 +70,7 @@ class PlugQdisc {
     }
     buffer_.push_back(Entry{p, false});
     ++buffered_total_;
+    pending_bytes_ += p.wire_bytes();
     if (observer_ != nullptr) observer_->on_plug_enqueue(p);
     if (enqueue_hook_) enqueue_hook_();
   }
@@ -97,6 +98,7 @@ class PlugQdisc {
         }
         continue;
       }
+      pending_bytes_ -= e.packet.wire_bytes();
       transmit_(e.packet);
       ++released_total_;
       ++released;
@@ -109,6 +111,7 @@ class PlugQdisc {
     std::uint64_t dropped = 0;
     for (const Entry& e : buffer_) dropped += e.is_marker ? 0 : 1;
     buffer_.clear();
+    pending_bytes_ = 0;
     if (observer_ != nullptr) observer_->on_plug_discard(dropped);
   }
 
@@ -117,6 +120,9 @@ class PlugQdisc {
     for (const auto& e : buffer_) n += e.is_marker ? 0 : 1;
     return n;
   }
+  /// Wire bytes currently held (maintained incrementally — the adaptive
+  /// segment-cut policy reads this per flush tick, so it must be O(1)).
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
   std::uint64_t buffered_total() const { return buffered_total_; }
   std::uint64_t released_total() const { return released_total_; }
 
@@ -135,6 +141,7 @@ class PlugQdisc {
   std::uint64_t next_marker_ = 1;
   std::uint64_t buffered_total_ = 0;
   std::uint64_t released_total_ = 0;
+  std::uint64_t pending_bytes_ = 0;
 };
 
 class IngressFilter {

@@ -31,6 +31,11 @@ Time clamp0(Time t) { return t < 0 ? 0 : t; }
 
 }  // namespace
 
+int dominant_stage(const std::array<Time, kPsStageCount>& stage_ns) {
+  return static_cast<int>(
+      std::max_element(stage_ns.begin(), stage_ns.end()) - stage_ns.begin());
+}
+
 CriticalPath::CriticalPath(const std::vector<Event>& events) {
   std::map<std::uint64_t, EpochTimes> times;
   std::map<std::uint64_t, SegTimes> seg_times;
@@ -106,9 +111,7 @@ CriticalPath::CriticalPath(const std::vector<Event>& events) {
     a.stage_ns[kPsTail] = clamp0(ship_b - work_end);
     a.stage_ns[kPsShip] = clamp0(ship_e - ship_b);
     a.stage_ns[kPsAckWait] = clamp0(t.release - ship_e);
-    a.dominant = static_cast<int>(
-        std::max_element(a.stage_ns.begin(), a.stage_ns.end()) -
-        a.stage_ns.begin());
+    a.dominant = dominant_stage(a.stage_ns);
     epochs_.push_back(a);
   }
 }

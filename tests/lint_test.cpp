@@ -158,6 +158,16 @@ TEST(LintFixtures, ReplayWallclock) {
   expect_negative("neg_replay_wallclock.cpp", {{"replay-wallclock", 10}});
 }
 
+TEST(LintFixtures, EpochctlWallclock) {
+  // The adaptive epoch controller (namespace ...::epochctl) is held to
+  // the same purity standard as the replay engine: wall clock or ambient
+  // randomness there would break byte determinism across shard/job
+  // configurations (DESIGN.md §15).
+  expect_positive("pos_epochctl_wallclock.cpp",
+                  {{"replay-wallclock", 3}, {"replay-wallclock", 5}});
+  expect_negative("neg_epochctl_wallclock.cpp", {{"replay-wallclock", 10}});
+}
+
 // Test code is exempt from the unordered-iteration rule (tests may assert
 // over hash order locally); --assume-test marks explicit files as tests.
 TEST(LintCli, AssumeTestExemptsUnorderedIter) {
@@ -192,20 +202,22 @@ TEST(LintCli, WholeFixtureDirIsStable) {
       "pos_arena_alloc.cpp",   "pos_raw_rand.cpp",
       "pos_unordered_iter.cpp", "pos_ptr_key.cpp",
       "pos_ptr_sort.cpp",      "pos_concurrency_owner.cpp",
-      "pos_detached_this.cpp", "pos_replay_wallclock.cpp"};
+      "pos_detached_this.cpp", "pos_replay_wallclock.cpp",
+      "pos_epochctl_wallclock.cpp"};
   const char* kNeg[] = {
       "neg_no_assert.cpp",     "neg_no_naked_new.cpp",
       "neg_no_raw_thread.cpp", "neg_no_raw_clock.cpp",
       "neg_arena_alloc.cpp",   "neg_raw_rand.cpp",
       "neg_unordered_iter.cpp", "neg_ptr_key.cpp",
       "neg_ptr_sort.cpp",      "neg_concurrency_owner.cpp",
-      "neg_detached_this.cpp", "neg_replay_wallclock.cpp"};
+      "neg_detached_this.cpp", "neg_replay_wallclock.cpp",
+      "neg_epochctl_wallclock.cpp"};
   for (const char* f : kPos) all += " " + fixture(f);
   for (const char* f : kNeg) all += " " + fixture(f);
   LintRun r = run_lint("--json" + all);
   EXPECT_EQ(r.exit_code, 1);
-  EXPECT_EQ(r.findings.size(), 21u) << r.output;   // sum of all positives
-  EXPECT_EQ(r.suppressed.size(), 12u) << r.output; // one per negative
+  EXPECT_EQ(r.findings.size(), 23u) << r.output;   // sum of all positives
+  EXPECT_EQ(r.suppressed.size(), 13u) << r.output; // one per negative
   // No finding may escape from a negative fixture: the findings array
   // (everything before the suppressed section) names only pos_ files.
   EXPECT_EQ(r.output.substr(0, r.output.find("\"suppressed\"")).find("/neg_"),

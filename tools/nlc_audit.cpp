@@ -112,6 +112,13 @@ int main(int argc, char** argv) {
         // seeds exercise the event-log chain, the release-on-log-ack path
         // and the failover replay audit.
         if (s % 4 >= 2) cfg.nilicon.commit_mode = core::CommitMode::kReplay;
+        // ...and the epoch policy on the odd half of each commit-mode
+        // period, so the auditors also watch epochs whose length is being
+        // retuned mid-run (DESIGN.md §15): adaptation must never move a
+        // commit point in a way any invariant can observe.
+        if (s % 4 == 1 || s % 4 == 3) {
+          cfg.nilicon.epoch_policy = core::EpochPolicy::kAdaptive;
+        }
         cfg.nilicon.seed = s;
         cfg.nilicon.audit_level = level;
         cfg.seed = s;
@@ -168,11 +175,12 @@ int main(int argc, char** argv) {
     }
     NLC_CHECK(r.audited);
     std::printf(
-        "seed=%llu workload=%-13s mode=%s epochs=%-4llu occ=%llu "
+        "seed=%llu workload=%-13s mode=%s/%-8s epochs=%-4llu occ=%llu "
         "epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu "
         "replay=%llu sweeps=%llu%s\n",
         static_cast<unsigned long long>(s), spec.name.c_str(),
         s % 4 >= 2 ? "replay" : "epoch ",
+        s % 2 == 1 ? "adaptive" : "fixed",
         static_cast<unsigned long long>(r.metrics.epochs_completed),
         static_cast<unsigned long long>(r.audit.output_commit_checks),
         static_cast<unsigned long long>(r.audit.epoch_commit_checks),

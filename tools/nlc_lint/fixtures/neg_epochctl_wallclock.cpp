@@ -1,0 +1,15 @@
+// Negative fixture: the controller stays a pure function of simulated
+// observables (EWMA folds over stamped epochs); the one wall-clock read
+// inside the namespace is an annotated diagnostics path, and wall_now_ns
+// outside the controller namespace is out of the rule's scope entirely.
+namespace nlc::core::epochctl {
+inline double fold(double acc, double sample) {
+  return acc < 0.0 ? sample : acc + (sample - acc) * 0.25;
+}
+// NLC_LINT_OK(replay-wallclock): controller-summary timestamp, not state
+inline long stamp() { return static_cast<long>(util::wall_now_ns()); }
+}  // namespace nlc::core::epochctl
+
+namespace nlc::core {
+inline long deadline() { return static_cast<long>(util::wall_now_ns()); }
+}  // namespace nlc::core

@@ -1,0 +1,8 @@
+// Positive fixture: wall clock + fresh Rng inside the epoch controller.
+namespace nlc::core::epochctl {
+inline long jitter() { return static_cast<long>(util::wall_now_ns()); }
+inline double noise() {
+  nlc::Rng rng(13);
+  return static_cast<double>(rng.next() & 0xff) / 256.0;
+}
+}  // namespace nlc::core::epochctl

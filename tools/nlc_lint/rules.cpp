@@ -509,16 +509,25 @@ void rule_ptr_sort(RuleCtx& c) {
 /// region, e.g. nlc::core::replay) must be a pure function of the
 /// committed event log: a wall-clock read or any non-logged randomness
 /// source would diverge the backup's replayed state from the outputs the
-/// primary already released.
+/// primary already released. The adaptive epoch controller (`namespace
+/// ... epochctl`, DESIGN.md §15) is held to the same standard for a
+/// different reason: it feeds back into the epoch schedule, so any
+/// non-simulated input would break byte determinism across every
+/// NLC_SHARDS x NLC_JOBS configuration.
 void rule_replay_wallclock(RuleCtx& c) {
   const Toks& t = c.f.lex.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!is_ident(t, i, "namespace")) continue;
-    // `namespace replay {` or `namespace nlc::core::replay {`: the name
-    // path must end in `replay` right before the opening brace.
+    // `namespace replay {`, `namespace nlc::core::epochctl {`, ...: the
+    // name path must end in a determinism-critical terminal right before
+    // the opening brace.
     std::size_t j = i + 1;
     while (is_any_ident(t, j) && is_punct(t, j + 1, "::")) j += 2;
-    if (!is_ident(t, j, "replay") || !is_punct(t, j + 1, "{")) continue;
+    const bool engine = is_ident(t, j, "replay");
+    const bool ctl = is_ident(t, j, "epochctl");
+    if ((!engine && !ctl) || !is_punct(t, j + 1, "{")) continue;
+    const std::string region =
+        engine ? "the replay engine" : "the epoch controller";
     std::size_t open = j + 1;
     std::size_t close = match_forward(t, open, "{", "}");
     if (close == npos) close = t.size();
@@ -528,26 +537,36 @@ void rule_replay_wallclock(RuleCtx& c) {
                           (t[k - 1].text == "." || t[k - 1].text == "->");
       if (is_ident(t, k, "wall_now_ns") && !member) {
         c.add("replay-wallclock", t[k].line,
-              "wall_now_ns() inside the replay engine — replayed state "
-              "must be a pure function of the committed event log "
-              "(DESIGN.md §14); stamp times into the log at record time");
+              "wall_now_ns() inside " + region + " — " +
+                  (engine ? "replayed state must be a pure function of the "
+                            "committed event log (DESIGN.md §14); stamp "
+                            "times into the log at record time"
+                          : "epoch lengths must be a pure function of "
+                            "simulated-time observables (DESIGN.md §15); "
+                            "read the simulation clock instead"));
       } else if (is_ident(t, k, "Rng") && !member) {
         c.add("replay-wallclock", t[k].line,
-              "Rng inside the replay engine — fresh draws diverge replay "
-              "from the primary; replay the logged kRngDraw entries "
-              "instead (DESIGN.md §14)");
+              "Rng inside " + region + " — " +
+                  (engine ? "fresh draws diverge replay from the primary; "
+                            "replay the logged kRngDraw entries instead "
+                            "(DESIGN.md §14)"
+                          : "ambient randomness diverges the adapted epoch "
+                            "schedule across shard/job configurations "
+                            "(DESIGN.md §15)"));
       } else if (t[k].text == "random_device" ||
                  kRandomEngines.count(t[k].text) > 0) {
         c.add("replay-wallclock", t[k].line,
-              t[k].text +
-                  " inside the replay engine — non-logged entropy breaks "
-                  "replay equivalence (DESIGN.md §14)");
+              t[k].text + " inside " + region +
+                  " — non-logged entropy breaks " +
+                  (engine ? "replay equivalence (DESIGN.md §14)"
+                          : "byte determinism (DESIGN.md §15)"));
       } else if ((t[k].text == "rand" || t[k].text == "srand") &&
                  is_punct(t, k + 1, "(") && !member) {
         c.add("replay-wallclock", t[k].line,
-              t[k].text +
-                  "() inside the replay engine — non-logged entropy breaks "
-                  "replay equivalence (DESIGN.md §14)");
+              t[k].text + "() inside " + region +
+                  " — non-logged entropy breaks " +
+                  (engine ? "replay equivalence (DESIGN.md §14)"
+                          : "byte determinism (DESIGN.md §15)"));
       }
     }
     i = close;

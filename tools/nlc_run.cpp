@@ -9,6 +9,7 @@
 // JSON line (machine-scrapable for scripting sweeps).
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,9 @@ void usage() {
       "  --seconds N        measurement window for servers (default 6)\n"
       "  --batch-seconds N  per-thread CPU quota for batch apps (default 3)\n"
       "  --epoch-ms N       NiLiCon epoch length (default 30)\n"
+      "  --epoch-policy P   fixed|adaptive (default fixed; adaptive =\n"
+      "                     trace-driven epoch-length controller,\n"
+      "                     DESIGN.md §15)\n"
       "  --commit M         output-commit scheme: epoch|replay (default\n"
       "                     epoch; replay = HyCoR-style event-log release,\n"
       "                     DESIGN.md §14)\n"
@@ -100,6 +104,15 @@ int main(int argc, char** argv) {
       cfg.batch_work = nlc::seconds(std::atoi(next()));
     } else if (arg == "--epoch-ms") {
       cfg.nilicon.epoch_length = nlc::milliseconds(std::atoi(next()));
+    } else if (arg == "--epoch-policy") {
+      std::string p = next();
+      if (p == "fixed") cfg.nilicon.epoch_policy = core::EpochPolicy::kFixed;
+      else if (p == "adaptive")
+        cfg.nilicon.epoch_policy = core::EpochPolicy::kAdaptive;
+      else {
+        std::fprintf(stderr, "unknown epoch policy\n");
+        return 2;
+      }
     } else if (arg == "--commit") {
       std::string m = next();
       if (m == "epoch") cfg.nilicon.commit_mode = core::CommitMode::kEpoch;
@@ -189,6 +202,31 @@ int main(int argc, char** argv) {
                 r.metrics.dirty_pages.empty()
                     ? 0.0 : r.metrics.dirty_pages.mean(),
                 r.backup_cores);
+    if (cfg.nilicon.epoch_policy == core::EpochPolicy::kAdaptive &&
+        cfg.mode == harness::Mode::kNiLiCon) {
+      // Chosen-lengths histogram: lengths are quantized (1 ms epoch-mode,
+      // 10 ms replay-mode), so distinct values are few — print each with
+      // its epoch count.
+      std::map<long long, std::uint64_t> hist;
+      for (double v : r.metrics.epoch_len_ms.values()) {
+        ++hist[static_cast<long long>(v + 0.5)];
+      }
+      std::string h;
+      for (const auto& [ms, n] : hist) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s%lldms:%llu", h.empty() ? "" : " ",
+                      ms, static_cast<unsigned long long>(n));
+        h += buf;
+      }
+      std::printf("epoch controller: final %.0fms, converged@epoch %llu, "
+                  "+%llu/-%llu steps, lengths {%s}\n",
+                  to_millis(r.metrics.ctl_final_epoch_len),
+                  static_cast<unsigned long long>(
+                      r.metrics.ctl_last_change_epoch),
+                  static_cast<unsigned long long>(r.metrics.ctl_grow_steps),
+                  static_cast<unsigned long long>(r.metrics.ctl_shrink_steps),
+                  h.c_str());
+    }
     if (cfg.nilicon.commit_mode == core::CommitMode::kReplay) {
       std::printf("event log: %llu entries in %llu segments, %llu bytes, "
                   "release latency %.3fms (epoch commit %.2fms)\n",
@@ -201,6 +239,11 @@ int main(int argc, char** argv) {
                       ? 0.0 : r.metrics.log_commit_latency_ms.mean(),
                   r.metrics.commit_latency_ms.empty()
                       ? 0.0 : r.metrics.commit_latency_ms.mean());
+      std::printf("log retention: peak %llu bytes, %llu segments pruned\n",
+                  static_cast<unsigned long long>(
+                      r.metrics.log_retained_bytes_peak),
+                  static_cast<unsigned long long>(
+                      r.metrics.log_pruned_segments));
     }
   }
   if (cfg.inject_fault) {
