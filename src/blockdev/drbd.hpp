@@ -41,14 +41,20 @@ using DrbdMessage = std::variant<DiskWrite, Barrier>;
 class DrbdPrimary : public kern::BlockStore {
  public:
   DrbdPrimary(Disk& local, net::Channel<DrbdMessage>& to_backup)
-      : local_(&local), channel_(&to_backup) {}
+      : local_(&local), channels_{&to_backup} {}
 
   void write_block(kern::InodeNum ino, std::uint64_t page,
                    std::span<const std::byte> data) override {
     local_->write_block(ino, page, data);
+    const std::uint64_t wire = data.size() + kWriteHeaderBytes;
     DiskWrite w{ino, page, {data.begin(), data.end()}};
-    channel_->send(DrbdMessage{std::move(w)},
-                   data.size() + kWriteHeaderBytes);
+    // Star fan-out (DESIGN.md §16): every directly-fed replica gets its own
+    // copy of the write stream; the channels share the primary's
+    // replication NIC, so the copies contend there.
+    for (std::size_t i = 0; i + 1 < channels_.size(); ++i) {
+      channels_[i]->send(DrbdMessage{w}, wire);
+    }
+    channels_.back()->send(DrbdMessage{std::move(w)}, wire);
   }
 
   std::optional<std::vector<std::byte>> read_block(
@@ -58,7 +64,14 @@ class DrbdPrimary : public kern::BlockStore {
 
   /// End-of-epoch barrier (sent by the primary agent at each pause).
   void send_barrier(std::uint64_t epoch) {
-    channel_->send(DrbdMessage{Barrier{epoch}}, kBarrierBytes);
+    for (net::Channel<DrbdMessage>* ch : channels_) {
+      ch->send(DrbdMessage{Barrier{epoch}}, kBarrierBytes);
+    }
+  }
+
+  /// Adds a directly-fed replica's write channel (star topology, N > 1).
+  void add_channel(net::Channel<DrbdMessage>& ch) {
+    channels_.push_back(&ch);
   }
 
   Disk& local_disk() { return *local_; }
@@ -68,7 +81,7 @@ class DrbdPrimary : public kern::BlockStore {
 
  private:
   Disk* local_;
-  net::Channel<DrbdMessage>* channel_;
+  std::vector<net::Channel<DrbdMessage>*> channels_;
 };
 
 /// Observer seam for the invariant auditor (src/check): reports when
@@ -96,6 +109,16 @@ class DrbdBackup {
   sim::task<> run() {
     while (true) {
       DrbdMessage m = co_await channel_->recv();
+      if (forward_ != nullptr) {
+        // Chain topology (DESIGN.md §16): store-and-forward a copy to the
+        // next replica down the chain before consuming the message, with
+        // the same wire accounting the primary used.
+        const auto* fw = std::get_if<DiskWrite>(&m);
+        forward_->send(DrbdMessage{m},
+                       fw != nullptr
+                           ? fw->data.size() + DrbdPrimary::kWriteHeaderBytes
+                           : DrbdPrimary::kBarrierBytes);
+      }
       if (auto* w = std::get_if<DiskWrite>(&m)) {
         pending_.push_back(std::move(*w));
       } else {
@@ -173,6 +196,9 @@ class DrbdBackup {
   /// Installs (or clears, with nullptr) the audit observer.
   void set_observer(DrbdObserver* o) { observer_ = o; }
 
+  /// Chain topology: forward every received message down this channel.
+  void set_forward(net::Channel<DrbdMessage>* down) { forward_ = down; }
+
   /// Attaches (or clears) the flight recorder (observer only).
   void set_trace(trace::Recorder* rec) { trace_ = rec; }
 
@@ -195,6 +221,7 @@ class DrbdBackup {
   sim::Simulation* sim_;
   Disk* local_;
   net::Channel<DrbdMessage>* channel_;
+  net::Channel<DrbdMessage>* forward_ = nullptr;
   DrbdObserver* observer_ = nullptr;
   trace::Recorder* trace_ = nullptr;
   sim::Event barrier_arrived_;

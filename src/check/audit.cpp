@@ -9,12 +9,99 @@
 
 namespace nlc::check {
 
+// ---------------------------------------------------------------------------
+// Shared restore-equivalence walk
+
+std::uint64_t restore_equivalence_walk(const criu::PageStore& store,
+                                       const kern::Kernel& kernel,
+                                       kern::ContainerId cid) {
+  // Restored memory must equal the committed page store byte for byte:
+  // walk the restored container's resident content pages before the
+  // application resumes and compare against the store's committed copies.
+  std::uint64_t compared = 0;
+  for (const kern::Process* p : kernel.container_processes(cid)) {
+    // Walk pages in ascending page-number order, not hash order: when more
+    // than one page diverges, the report (and the failing-check identity a
+    // negative test asserts on) must not depend on allocation addresses.
+    std::vector<std::pair<kern::PageNum, const kern::AddressSpace::PageState*>>
+        resident;
+    resident.reserve(p->mm().page_states().size());
+    // NLC_LINT_OK(unordered-iter): hash-order collection; sorted below
+    for (const auto& [pg, st] : p->mm().page_states()) {
+      resident.emplace_back(pg, &st);
+    }
+    std::sort(resident.begin(), resident.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [page, state_ptr] : resident) {
+      const kern::AddressSpace::PageState& state = *state_ptr;
+      if (!state.payload) continue;
+      const criu::PageRecord* rec = store.lookup(page);
+      NLC_CHECK_MSG(rec != nullptr,
+                    "audit: restored content page missing from the store");
+      NLC_CHECK_MSG(rec->content != nullptr,
+                    "audit: restored bytes for an accounting-only page");
+      if (rec->content.get() != state.payload.get()) {
+        NLC_CHECK_MSG(*rec->content == *state.payload,
+                      "audit: restored memory diverged from the committed "
+                      "page store");
+      }
+      ++compared;
+    }
+  }
+  return compared;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaAudit (extra backup replicas, DESIGN.md §16)
+
+void ReplicaAudit::on_ack_sent(std::uint64_t epoch,
+                               std::uint64_t last_barrier) {
+  epoch_.ack_sent(epoch, last_barrier);
+}
+
+void ReplicaAudit::on_commit_begin(std::uint64_t epoch) {
+  epoch_.commit_begin(epoch);
+}
+
+void ReplicaAudit::on_commit(const core::EpochStateMsg& msg) {
+  store_.check(cluster_->backup(index_).page_store(), msg.image);
+  epoch_.committed(msg.epoch);
+}
+
+void ReplicaAudit::on_recovery_started(std::uint64_t committed_epoch) {
+  epoch_.recovery_started(committed_epoch);
+}
+
+void ReplicaAudit::on_recovered(std::uint64_t committed_epoch) {
+  epoch_.recovered(committed_epoch);
+  restore_equiv_checks_ += restore_equivalence_walk(
+      cluster_->backup(index_).page_store(),
+      cluster_->backup_kernel_of(index_), cid_);
+}
+
+void ReplicaAudit::on_resilver_adopted(std::uint64_t committed_epoch) {
+  epoch_.resilver_adopted(committed_epoch);
+}
+
+void ReplicaAudit::on_drbd_epoch_applied(std::uint64_t epoch,
+                                         std::uint64_t /*writes*/) {
+  epoch_.drbd_applied(epoch);
+}
+
+void ReplicaAudit::on_drbd_discard(std::uint64_t /*writes*/) {
+  epoch_.drbd_discarded();
+}
+
+// ---------------------------------------------------------------------------
+// InvariantAuditor
+
 InvariantAuditor::InvariantAuditor(core::Cluster& cluster,
                                    kern::ContainerId cid,
                                    const core::Options& opts)
     : cluster_(&cluster), cid_(cid), level_(opts.audit_level),
       delta_enabled_(opts.delta_compress_pages),
-      replay_mode_(opts.commit_mode == core::CommitMode::kReplay) {
+      replay_mode_(opts.commit_mode == core::CommitMode::kReplay),
+      quorum_(opts.replicas, opts.resolved_quorum()) {
   NLC_CHECK_MSG(level_ != core::AuditLevel::kOff,
                 "constructing an auditor with auditing off");
   NLC_CHECK_MSG(cluster.primary_agent != nullptr &&
@@ -24,6 +111,10 @@ InvariantAuditor::InvariantAuditor(core::Cluster& cluster,
   NLC_CHECK_MSG(cont != nullptr, "auditing an unknown container");
   plug_ = &cluster.primary_tcp.plug(
       static_cast<net::IpAddr>(cont->service_ip()));
+  for (int i = 1; i < cluster.replica_count(); ++i) {
+    replica_audits_.push_back(
+        std::make_unique<ReplicaAudit>(cluster, i, cid));
+  }
 }
 
 InvariantAuditor::~InvariantAuditor() { detach(); }
@@ -34,6 +125,25 @@ void InvariantAuditor::attach() {
   cluster_->primary_agent->set_audit_hooks(this);
   cluster_->backup_agent->set_audit_hooks(this);
   cluster_->drbd_backup->set_observer(this);
+  for (std::size_t i = 0; i < replica_audits_.size(); ++i) {
+    core::Cluster::BackupReplica& r = *cluster_->extra_backups[i];
+    r.agent->set_audit_hooks(replica_audits_[i].get());
+    r.drbd->set_observer(replica_audits_[i].get());
+  }
+  if (cluster_->arbiter != nullptr) {
+    // NLC_LINT_OK(detached-this): detach() clears the hook in ~auditor
+    cluster_->arbiter->set_on_promoted(
+        [this](int winner,
+               const std::vector<core::PromotionCandidate>& cs) {
+          std::vector<QuorumCommitChecker::Candidate> conv;
+          conv.reserve(cs.size());
+          for (const core::PromotionCandidate& c : cs) {
+            conv.push_back(QuorumCommitChecker::Candidate{
+                c.index, c.any_ack, c.acked_epoch, c.committed_nd_entries});
+          }
+          quorum_.promoted(winner, conv);
+        });
+  }
   if (level_ == core::AuditLevel::kContinuous) {
     // NLC_LINT_OK(detached-this): detach() clears the probe in ~auditor
     cluster_->sim.set_audit_probe([this] { sweep(); }, kProbeEveryEvents);
@@ -47,6 +157,12 @@ void InvariantAuditor::detach() {
   if (cluster_->primary_agent) cluster_->primary_agent->set_audit_hooks(nullptr);
   if (cluster_->backup_agent) cluster_->backup_agent->set_audit_hooks(nullptr);
   cluster_->drbd_backup->set_observer(nullptr);
+  for (std::size_t i = 0; i < replica_audits_.size(); ++i) {
+    core::Cluster::BackupReplica& r = *cluster_->extra_backups[i];
+    if (r.agent) r.agent->set_audit_hooks(nullptr);
+    r.drbd->set_observer(nullptr);
+  }
+  if (cluster_->arbiter != nullptr) cluster_->arbiter->set_on_promoted({});
   if (level_ == core::AuditLevel::kContinuous) {
     cluster_->sim.set_audit_probe(nullptr);
   }
@@ -63,7 +179,13 @@ AuditStats InvariantAuditor::stats() const {
   st.delta_replay_checks = delta_.checks();
   st.restore_equivalence_checks = restore_equiv_checks_;
   st.replay_equivalence_checks = replay_.checks();
+  st.quorum_checks = quorum_.checks();
   st.sweeps = sweeps_;
+  for (const auto& ra : replica_audits_) {
+    st.epoch_commit_checks += ra->epoch_checks();
+    st.store_equivalence_checks += ra->store_checks();
+    st.restore_equivalence_checks += ra->restore_checks();
+  }
   return st;
 }
 
@@ -125,6 +247,10 @@ void InvariantAuditor::on_ack_received(std::uint64_t epoch) {
   // Replay mode commits output per log segment: the occ_ mirror runs on
   // segment seq numbers, so epoch acks must not leak into it.
   if (!replay_mode_) occ_.ack_received(epoch);
+  // With replicas > 1 this hook reports *quorum* advances; re-derive the
+  // quorum cursor from the per-replica mirror. At N = 1 every ack is a
+  // quorum advance and the check degenerates to cursor equality.
+  quorum_.quorum_advanced(epoch);
 }
 
 void InvariantAuditor::on_release(std::uint64_t epoch) {
@@ -148,6 +274,15 @@ void InvariantAuditor::on_log_ack_received(std::uint64_t seq) {
 
 void InvariantAuditor::on_log_release(std::uint64_t seq) {
   pending_release_epoch_ = seq;
+  quorum_.log_release(seq);
+}
+
+void InvariantAuditor::on_replica_ack(int replica, std::uint64_t epoch) {
+  quorum_.replica_ack(replica, epoch);
+}
+
+void InvariantAuditor::on_replica_log_ack(int replica, std::uint64_t seq) {
+  quorum_.replica_log_ack(replica, seq);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,41 +314,13 @@ void InvariantAuditor::on_recovery_started(std::uint64_t committed_epoch) {
 
 void InvariantAuditor::on_recovered(std::uint64_t committed_epoch) {
   epoch_.recovered(committed_epoch);
-  // Restored memory must equal the committed page store byte for byte:
-  // walk the restored container's resident content pages before the
-  // application resumes and compare against the store's committed copies.
-  const criu::PageStore& store = cluster_->backup_agent->page_store();
-  for (const kern::Process* p :
-       std::as_const(*cluster_->backup_kernel).container_processes(cid_)) {
-    // Walk pages in ascending page-number order, not hash order: when more
-    // than one page diverges, the report (and the failing-check identity a
-    // negative test asserts on) must not depend on allocation addresses.
-    std::vector<std::pair<kern::PageNum, const kern::AddressSpace::PageState*>>
-        resident;
-    resident.reserve(p->mm().page_states().size());
-    // NLC_LINT_OK(unordered-iter): hash-order collection; sorted below
-    for (const auto& [pg, st] : p->mm().page_states()) {
-      resident.emplace_back(pg, &st);
-    }
-    std::sort(resident.begin(), resident.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [page, state_ptr] : resident) {
-      const kern::AddressSpace::PageState& state = *state_ptr;
-      if (!state.payload) continue;
-      const criu::PageRecord* rec = store.lookup(page);
-      NLC_CHECK_MSG(rec != nullptr,
-                    "audit: restored content page missing from the store");
-      NLC_CHECK_MSG(rec->content != nullptr,
-                    "audit: restored bytes for an accounting-only page");
-      if (rec->content.get() != state.payload.get()) {
-        NLC_CHECK_MSG(*rec->content == *state.payload,
-                      "audit: restored memory diverged from the committed "
-                      "page store");
-      }
-      ++restore_equiv_checks_;
-    }
-  }
+  restore_equiv_checks_ += restore_equivalence_walk(
+      cluster_->backup_agent->page_store(), *cluster_->backup_kernel, cid_);
   if (level_ == core::AuditLevel::kContinuous) freeze_.verify_all();
+}
+
+void InvariantAuditor::on_resilver_adopted(std::uint64_t committed_epoch) {
+  epoch_.resilver_adopted(committed_epoch);
 }
 
 void InvariantAuditor::on_log_ingested(const core::LogSegmentMsg& seg,

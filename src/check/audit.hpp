@@ -35,6 +35,51 @@
 
 namespace nlc::check {
 
+/// Byte-equivalence walk of a restored container against a committed page
+/// store (shared by the auditor and the per-replica adapters, so a
+/// promoted extra replica gets the same post-failover audit as replica 0).
+/// Returns the number of pages compared.
+std::uint64_t restore_equivalence_walk(const criu::PageStore& store,
+                                       const kern::Kernel& kernel,
+                                       kern::ContainerId cid);
+
+/// Per-replica audit adapter for extra backup replicas (N > 1, DESIGN.md
+/// §16). Each extra replica runs the same backup-side epoch lifecycle as
+/// replica 0 but against its own DRBD buffer and page store, so each gets
+/// its own checker mirrors — routing all replicas into one mirror would
+/// interleave their (independent) epoch streams.
+class ReplicaAudit final : public core::BackupAuditHooks,
+                           public blk::DrbdObserver {
+ public:
+  ReplicaAudit(core::Cluster& cluster, int index, kern::ContainerId cid)
+      : cluster_(&cluster), index_(index), cid_(cid) {}
+
+  // core::BackupAuditHooks
+  void on_ack_sent(std::uint64_t epoch, std::uint64_t last_barrier) override;
+  void on_commit_begin(std::uint64_t epoch) override;
+  void on_commit(const core::EpochStateMsg& msg) override;
+  void on_recovery_started(std::uint64_t committed_epoch) override;
+  void on_recovered(std::uint64_t committed_epoch) override;
+  void on_resilver_adopted(std::uint64_t committed_epoch) override;
+
+  // blk::DrbdObserver
+  void on_drbd_epoch_applied(std::uint64_t epoch,
+                             std::uint64_t writes) override;
+  void on_drbd_discard(std::uint64_t writes) override;
+
+  std::uint64_t epoch_checks() const { return epoch_.checks(); }
+  std::uint64_t store_checks() const { return store_.checks(); }
+  std::uint64_t restore_checks() const { return restore_equiv_checks_; }
+
+ private:
+  core::Cluster* cluster_;
+  int index_;
+  kern::ContainerId cid_;
+  EpochCommitChecker epoch_;
+  StoreEquivalenceChecker store_;
+  std::uint64_t restore_equiv_checks_ = 0;
+};
+
 class InvariantAuditor final : public net::PlugObserver,
                                public core::PrimaryAuditHooks,
                                public core::BackupAuditHooks,
@@ -85,9 +130,12 @@ class InvariantAuditor final : public net::PlugObserver,
   void on_commit(const core::EpochStateMsg& msg) override;
   void on_recovery_started(std::uint64_t committed_epoch) override;
   void on_recovered(std::uint64_t committed_epoch) override;
+  void on_resilver_adopted(std::uint64_t committed_epoch) override;
   void on_log_ingested(const core::LogSegmentMsg& seg, bool accepted) override;
   void on_replayed(std::uint64_t final_fp,
                    std::uint64_t entries_replayed) override;
+  void on_replica_ack(int replica, std::uint64_t epoch) override;
+  void on_replica_log_ack(int replica, std::uint64_t seq) override;
 
   // blk::DrbdObserver
   void on_drbd_epoch_applied(std::uint64_t epoch,
@@ -124,6 +172,9 @@ class InvariantAuditor final : public net::PlugObserver,
   StoreEquivalenceChecker store_;
   DeltaReplayChecker delta_;
   ReplayEquivalenceChecker replay_;
+  QuorumCommitChecker quorum_;
+  /// One adapter per extra backup replica (index i + 1 at position i).
+  std::vector<std::unique_ptr<ReplicaAudit>> replica_audits_;
 
   /// Marker id the plug reported last, cross-checked against the agent's
   /// marker hook.

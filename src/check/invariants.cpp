@@ -1,5 +1,10 @@
 #include "check/invariants.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <tuple>
+
 namespace nlc::check {
 
 std::uint64_t fnv1a_page(const kern::PageBytes& bytes) {
@@ -124,8 +129,26 @@ void EpochCommitChecker::drbd_applied(std::uint64_t epoch) {
 }
 
 void EpochCommitChecker::drbd_discarded() {
-  NLC_CHECK_MSG(in_recovery_,
+  NLC_CHECK_MSG(in_recovery_ || resilver_discard_ok_,
                 "audit: uncommitted DRBD writes discarded outside failover");
+  resilver_discard_ok_ = false;
+  ++checks_;
+}
+
+void EpochCommitChecker::resilver_adopted(std::uint64_t committed_epoch) {
+  // A survivor adopts only outside its own recovery and outside a fold
+  // (the arbiter re-silvers after the winner's restore completes, and a
+  // dead primary cannot have a fold in flight on a live survivor).
+  NLC_CHECK_MSG(!in_recovery_, "audit: resilver adoption during recovery");
+  NLC_CHECK_MSG(!folding_, "audit: resilver adoption inside an open fold");
+  // The election picked the maximal cursor, so adoption never rewinds a
+  // survivor behind its own committed prefix.
+  NLC_CHECK_MSG(next_commit_ == 0 || committed_epoch + 1 >= next_commit_,
+                "audit: resilver moved a survivor backwards");
+  next_commit_ = committed_epoch + 1;
+  if (next_ack_ < next_commit_) next_ack_ = next_commit_;
+  if (last_applied_ < committed_epoch) last_applied_ = committed_epoch;
+  resilver_discard_ok_ = true;
   ++checks_;
 }
 
@@ -343,6 +366,105 @@ void StoreEquivalenceChecker::check(const criu::PageStore& store,
     }
     ++checks_;
   }
+}
+
+// ---------------------------------------------------------------------------
+// QuorumCommitChecker
+
+QuorumCommitChecker::QuorumCommitChecker(int replicas, int quorum_k)
+    : n_(replicas), k_(quorum_k) {
+  NLC_CHECK_MSG(replicas >= 1 && replicas <= 32,
+                "audit: replica count out of range");
+  NLC_CHECK_MSG(quorum_k >= 1 && quorum_k <= replicas,
+                "audit: quorum K out of range");
+  cursor_.assign(static_cast<std::size_t>(replicas), 0);
+  any_.assign(static_cast<std::size_t>(replicas), false);
+}
+
+void QuorumCommitChecker::replica_ack(int r, std::uint64_t epoch) {
+  NLC_CHECK_MSG(r >= 0 && r < n_, "audit: ack from unknown replica");
+  const auto i = static_cast<std::size_t>(r);
+  NLC_CHECK_MSG(!any_[i] || epoch >= cursor_[i],
+                "audit: per-replica ack cursor went backwards");
+  cursor_[i] = epoch;
+  any_[i] = true;
+  ++checks_;
+}
+
+void QuorumCommitChecker::quorum_advanced(std::uint64_t epoch) {
+  // Independent re-derivation: the quorum cursor is the K-th largest
+  // per-replica cursor, defined only once K replicas have acked at all.
+  std::vector<std::uint64_t> acked;
+  for (int r = 0; r < n_; ++r) {
+    if (any_[static_cast<std::size_t>(r)]) {
+      acked.push_back(cursor_[static_cast<std::size_t>(r)]);
+    }
+  }
+  NLC_CHECK_MSG(static_cast<int>(acked.size()) >= k_,
+                "audit: quorum declared before K replicas acked");
+  std::sort(acked.begin(), acked.end(), std::greater<>());
+  NLC_CHECK_MSG(acked[static_cast<std::size_t>(k_ - 1)] == epoch,
+                "audit: declared quorum cursor is not the K-th largest "
+                "replica cursor");
+  NLC_CHECK_MSG(!any_quorum_ || epoch >= quorum_cursor_,
+                "audit: quorum cursor went backwards");
+  quorum_cursor_ = epoch;
+  any_quorum_ = true;
+  ++checks_;
+}
+
+void QuorumCommitChecker::replica_log_ack(int r, std::uint64_t seq) {
+  NLC_CHECK_MSG(r >= 0 && r < n_, "audit: log ack from unknown replica");
+  Seg& s = segs_[seq];
+  const std::uint32_t bit = 1u << static_cast<unsigned>(r);
+  NLC_CHECK_MSG((s.acks & bit) == 0,
+                "audit: duplicate log ack from one replica");
+  s.acks |= bit;
+  ++checks_;
+  if (s.released && std::popcount(s.acks) == n_) segs_.erase(seq);
+}
+
+void QuorumCommitChecker::log_release(std::uint64_t seq) {
+  auto it = segs_.find(seq);
+  NLC_CHECK_MSG(it != segs_.end(),
+                "audit: release of a segment no replica acked");
+  NLC_CHECK_MSG(!it->second.released,
+                "audit: segment output released twice");
+  NLC_CHECK_MSG(std::popcount(it->second.acks) >= k_,
+                "audit: segment output released before K replica acks");
+  it->second.released = true;
+  ++checks_;
+  if (std::popcount(it->second.acks) == n_) segs_.erase(it);
+}
+
+void QuorumCommitChecker::promoted(int winner,
+                                   const std::vector<Candidate>& candidates) {
+  const Candidate* w = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.index == winner) w = &c;
+  }
+  NLC_CHECK_MSG(w != nullptr, "audit: promoted a non-candidate replica");
+  for (const Candidate& c : candidates) {
+    NLC_CHECK_MSG(
+        std::tuple(w->any_ack, w->acked_epoch, w->nd_entries) >=
+            std::tuple(c.any_ack, c.acked_epoch, c.nd_entries),
+        "audit: promotion must pick a most-caught-up replica");
+    // A replica's own cursor can only be AHEAD of what the (now dead)
+    // primary saw: acks in flight at the crash were sent but not observed.
+    if (c.index >= 0 && c.index < n_ &&
+        any_[static_cast<std::size_t>(c.index)]) {
+      NLC_CHECK_MSG(
+          c.acked_epoch >= cursor_[static_cast<std::size_t>(c.index)],
+          "audit: candidate cursor behind the primary-side mirror");
+    }
+  }
+  // Zero client-visible output loss: every epoch whose output a quorum
+  // released is covered by the winner's cursor.
+  if (any_quorum_) {
+    NLC_CHECK_MSG(w->any_ack && w->acked_epoch >= quorum_cursor_,
+                  "audit: promoted replica misses quorum-released output");
+  }
+  ++checks_;
 }
 
 // ---------------------------------------------------------------------------

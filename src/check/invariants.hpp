@@ -48,12 +48,16 @@ struct AuditStats {
   /// Post-hoc orderings re-verified from the flight-recorder stream
   /// (trace_oracle.hpp); non-zero only when both auditing and tracing ran.
   std::uint64_t trace_order_checks = 0;
+  /// N-way quorum replication (DESIGN.md §16): per-replica cursor
+  /// monotonicity, quorum-cursor re-derivation, K-of-N release gating and
+  /// the promotion decision.
+  std::uint64_t quorum_checks = 0;
 
   std::uint64_t total() const {
     return output_commit_checks + epoch_commit_checks +
            payload_verifications + store_equivalence_checks +
            delta_replay_checks + restore_equivalence_checks +
-           replay_equivalence_checks + trace_order_checks;
+           replay_equivalence_checks + trace_order_checks + quorum_checks;
   }
 };
 
@@ -116,6 +120,11 @@ class EpochCommitChecker {
   void drbd_discarded();
   void recovery_started(std::uint64_t committed_epoch);
   void recovered(std::uint64_t committed_epoch);
+  /// Re-silvering (DESIGN.md §16): this survivor adopted the promoted
+  /// winner's committed state at `committed_epoch`. Fast-forwards the
+  /// mirror (the winner is at least as caught up) and authorizes exactly
+  /// one DRBD-tail discard outside a recovery bracket.
+  void resilver_adopted(std::uint64_t committed_epoch);
 
   std::uint64_t committed_count() const { return next_commit_; }
   bool in_recovery() const { return in_recovery_; }
@@ -129,6 +138,7 @@ class EpochCommitChecker {
   bool folding_ = false;
   bool in_recovery_ = false;
   bool recovered_ = false;
+  bool resilver_discard_ok_ = false;
   std::uint64_t checks_ = 0;
 };
 
@@ -238,6 +248,60 @@ class ReplayEquivalenceChecker {
   // Last committed checkpoint's chain stamp (the replay start point).
   std::uint64_t committed_entries_ = 0;
   std::uint64_t committed_fp_ = core::kNdChainSeed;
+  std::uint64_t checks_ = 0;
+};
+
+/// N-way quorum output commit (DESIGN.md §16). Mirrors every replica's ack
+/// cursor independently and re-derives the quorum cursor (the K-th largest
+/// per-replica cursor) at every advance the primary declares; epoch or
+/// log-segment output may release only once K replicas cover it. Also
+/// audits the failover election: the promoted replica's catch-up key must
+/// be maximal among the surviving candidates AND cover the last quorum
+/// release — the "zero client-visible output loss" property.
+class QuorumCommitChecker {
+ public:
+  QuorumCommitChecker(int replicas, int quorum_k);
+
+  /// Replica `r` acked `epoch`. Cursors are monotone (FIFO channel,
+  /// sequential backup).
+  void replica_ack(int r, std::uint64_t epoch);
+  /// The primary declared the quorum cursor advanced to `epoch`.
+  void quorum_advanced(std::uint64_t epoch);
+  /// Replica `r` acked log segment `seq` (replay commit mode).
+  void replica_log_ack(int r, std::uint64_t seq);
+  /// The primary released segment `seq`'s plugged output.
+  void log_release(std::uint64_t seq);
+
+  /// Election-close key of one surviving replica (mirror of
+  /// core::PromotionCandidate, kept sim-free here).
+  struct Candidate {
+    int index = 0;
+    bool any_ack = false;
+    std::uint64_t acked_epoch = 0;
+    std::uint64_t nd_entries = 0;
+  };
+  /// The arbiter promoted `winner` out of `candidates`.
+  void promoted(int winner, const std::vector<Candidate>& candidates);
+
+  int replicas() const { return n_; }
+  int quorum() const { return k_; }
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::uint64_t> cursor_;
+  std::vector<bool> any_;
+  std::uint64_t quorum_cursor_ = 0;
+  bool any_quorum_ = false;
+  /// Per-segment replica-ack bitmask + release flag; retired once fully
+  /// acked and released (a dead replica leaves a bounded remainder, like
+  /// the agent's own seg_recs_).
+  struct Seg {
+    std::uint32_t acks = 0;
+    bool released = false;
+  };
+  std::unordered_map<std::uint64_t, Seg> segs_;
   std::uint64_t checks_ = 0;
 };
 

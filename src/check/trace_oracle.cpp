@@ -1,10 +1,14 @@
 #include "check/trace_oracle.hpp"
 
+#include <unordered_map>
+
 #include "util/assert.hpp"
 
 namespace nlc::check {
 
-TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
+TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events,
+                                     int quorum_k) {
+  NLC_CHECK_MSG(quorum_k >= 1, "trace oracle: quorum_k must be >= 1");
   TraceOrderStats stats;
   // High-water marks mirror the live checkers' epoch-0 discipline: the
   // boolean, not the counter, distinguishes "epoch 0 done" from "nothing
@@ -15,6 +19,11 @@ TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
   bool any_barrier = false;
   std::uint64_t log_acked = 0;
   bool any_log_ack = false;
+  // Per-epoch kReplicaAck instant count. Each replica acks each epoch
+  // exactly once (FIFO per-replica channels), so this count is the number
+  // of replicas whose cursor covers the epoch.
+  std::unordered_map<std::uint64_t, int> replica_acks;
+  bool promoted = false;
 
   for (const trace::Event& e : events) {
     if (e.track == trace::Track::kPrimary &&
@@ -22,6 +31,21 @@ TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
         e.stage == trace::Stage::kAckRecv) {
       if (!any_ack || e.arg > acked) acked = e.arg;
       any_ack = true;
+    } else if (e.track == trace::Track::kPrimary &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kReplicaAck) {
+      ++replica_acks[e.arg];
+    } else if (e.track == trace::Track::kDetector &&
+               e.type == trace::EventType::kInstant &&
+               e.stage == trace::Stage::kPromote) {
+      promoted = true;
+    } else if (e.track == trace::Track::kBackup &&
+               e.type == trace::EventType::kSpanBegin &&
+               e.stage == trace::Stage::kResilver) {
+      NLC_CHECK_MSG(promoted,
+                    "trace oracle: resilver span opened before the arbiter "
+                    "recorded a promotion");
+      ++stats.promotion_checks;
     } else if (e.track == trace::Track::kPrimary &&
                e.type == trace::EventType::kInstant &&
                e.stage == trace::Stage::kLogAckRecv) {
@@ -46,6 +70,13 @@ TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events) {
                     "trace oracle: epoch output released before its ack "
                     "reached the primary");
       ++stats.release_checks;
+      if (quorum_k > 1) {
+        auto it = replica_acks.find(e.arg);
+        NLC_CHECK_MSG(it != replica_acks.end() && it->second >= quorum_k,
+                      "trace oracle: epoch output released before a quorum "
+                      "of replica acks arrived");
+        ++stats.quorum_release_checks;
+      }
     } else if (e.track == trace::Track::kBackup &&
                e.type == trace::EventType::kSpanBegin &&
                e.stage == trace::Stage::kCommit) {

@@ -14,7 +14,14 @@
 //     segment's buffered output may be released only after that segment's
 //     log ack reached the primary (the HyCoR-style output-commit rule that
 //     replaces the per-epoch one; epoch runs emit no log instants, replay
-//     runs emit no epoch releases, so the rules never cross-fire).
+//     runs emit no epoch releases, so the rules never cross-fire);
+//   * quorum release (N > 1, DESIGN.md §16) — with `quorum_k` replica
+//     acks required per epoch, a release may fire only after at least K
+//     kReplicaAck instants for that epoch (each replica acks each epoch
+//     exactly once, so the per-epoch instant count is the replica count);
+//   * promotion-before-resilver — a re-silver span can open only after
+//     the arbiter recorded its kPromote instant (a survivor must never be
+//     overwritten with full state before a winner has been elected).
 //
 // Event order comes from Recorder seq numbers, which are consistent with
 // each recording thread's program order — so a trace emitted by a correct
@@ -33,15 +40,25 @@ struct TraceOrderStats {
   std::uint64_t commit_checks = 0;   // commit-after-barrier orderings verified
   /// Replay mode: segment-release-after-log-ack orderings verified.
   std::uint64_t log_release_checks = 0;
+  /// N > 1: release-after-K-replica-acks orderings verified.
+  std::uint64_t quorum_release_checks = 0;
+  /// N > 1: resilver-after-promotion orderings verified.
+  std::uint64_t promotion_checks = 0;
 
   std::uint64_t total() const {
-    return release_checks + commit_checks + log_release_checks;
+    return release_checks + commit_checks + log_release_checks +
+           quorum_release_checks + promotion_checks;
   }
 };
 
 /// Replays `events` (as drained from a trace::Recorder: sorted by seq) and
 /// throws nlc::InvariantError on a release-before-ack or
 /// commit-before-barrier ordering. Returns the per-ordering check counts.
-TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events);
+/// `quorum_k` is the run's resolved quorum size: when > 1 every epoch
+/// release is additionally checked against the per-epoch kReplicaAck
+/// count (two-node traces carry no kReplicaAck instants, so the default
+/// leaves the legacy rules byte-identical).
+TraceOrderStats audit_trace_ordering(const std::vector<trace::Event>& events,
+                                     int quorum_k = 1);
 
 }  // namespace nlc::check

@@ -42,6 +42,15 @@ class PrimaryAuditHooks {
   virtual void on_log_ack_received(std::uint64_t /*seq*/) {}
   /// Segment `seq`'s buffered output is about to be released to the wire.
   virtual void on_log_release(std::uint64_t /*seq*/) {}
+
+  // ---- N-way quorum replication (DESIGN.md §16); default no-ops. With
+  // replicas > 1, on_ack_received / on_log_ack_received report *quorum*
+  // advances; these report the underlying per-replica cursor movements.
+  /// Replica `replica`'s ack for `epoch` arrived (fires before the quorum
+  /// gate decides).
+  virtual void on_replica_ack(int /*replica*/, std::uint64_t /*epoch*/) {}
+  /// Replica `replica` acknowledged log segment `seq`.
+  virtual void on_replica_log_ack(int /*replica*/, std::uint64_t /*seq*/) {}
 };
 
 /// Backup-agent commit points, in per-epoch order: ack_sent ->
@@ -74,6 +83,13 @@ class BackupAuditHooks {
   /// fingerprint after `entries_replayed` re-executed events.
   virtual void on_replayed(std::uint64_t /*final_fp*/,
                            std::uint64_t /*entries_replayed*/) {}
+
+  // ---- N-way quorum replication (DESIGN.md §16); default no-op.
+  /// This survivor adopted the promoted winner's committed state during
+  /// re-silvering; `committed_epoch` is the winner's (= the survivor's
+  /// new) restore point. Fires before the survivor's uncommitted DRBD
+  /// tail is discarded, so the checker can authorize that discard.
+  virtual void on_resilver_adopted(std::uint64_t /*committed_epoch*/) {}
 };
 
 }  // namespace nlc::core

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/promotion.hpp"
 #include "util/assert.hpp"
 #include "util/worker_pool.hpp"
 
@@ -73,6 +74,16 @@ sim::task<> BackupAgent::state_loop() {
                          sim.now(), msg.epoch);
     }
 
+    // Chain topology (DESIGN.md §16): store-and-forward the received state
+    // to the next replica down the chain, with the primary's wire
+    // accounting. Forwarding happens after the receive-side processing (the
+    // message is fully buffered here first) but before the barrier wait, so
+    // the downstream replica's receive overlaps this one's commit.
+    if (downstream_state_ != nullptr) {
+      metrics_->wire_bytes_fanout += msg.wire_bytes;
+      downstream_state_->send(EpochStateMsg{msg}, msg.wire_bytes);
+    }
+
     // The epoch is durable at the backup once all its disk writes (up to
     // the barrier) and its container state are buffered here: acknowledge,
     // letting the primary release the epoch's buffered output (§IV).
@@ -82,6 +93,10 @@ sim::task<> BackupAgent::state_loop() {
                        sim.now(), msg.epoch);
     }
     if (audit_ != nullptr) audit_->on_ack_sent(msg.epoch, drbd_->last_barrier());
+    // The acked cursor is this replica's catch-up position — the promotion
+    // arbiter's election key (DESIGN.md §16).
+    acked_epoch_ = msg.epoch;
+    any_ack_sent_ = true;
     ack_out_->send(AckMsg{msg.epoch}, 64);
     if (trace_ != nullptr) {
       trace_->instant(trace::Track::kBackup, trace::Stage::kAckSent,
@@ -179,6 +194,13 @@ sim::task<> BackupAgent::log_loop() {
                     log_costs_.recv_per_entry;
     co_await sim.sleep_for(cost);
     metrics_->backup_busy += cost;
+    // Chain topology: forward before validating — the downstream replica
+    // runs the same deterministic validation itself.
+    if (downstream_log_ != nullptr) {
+      const std::uint64_t fw_bytes = log_segment_wire_bytes(seg);
+      metrics_->wire_bytes_fanout += fw_bytes;
+      downstream_log_->send(LogSegmentMsg{seg}, fw_bytes);
+    }
     const bool accepted = replay_.ingest(seg);
     if (accepted &&
         replay_.retained_bytes() > metrics_->log_retained_bytes_peak) {
@@ -237,6 +259,12 @@ sim::task<> BackupAgent::watchdog() {
                         trace::Stage::kRecoveryStart, sim.now(),
                         committed_epoch_);
       }
+      if (arbiter_ != nullptr) {
+        // N > 1: report the detection instead of recovering unilaterally;
+        // the arbiter elects the most caught-up replica and promotes it.
+        arbiter_->report(replica_index_);
+        co_return;
+      }
       co_await recover();
       co_return;
     }
@@ -254,6 +282,58 @@ void BackupAgent::trigger_recovery() {
                     sim.now(), committed_epoch_);
   }
   sim.spawn(kernel_->domain(), recover());
+}
+
+void BackupAgent::promote() {
+  NLC_CHECK_MSG(!recovered_, "already recovered");
+  armed_ = false;
+  sim::Simulation& sim = kernel_->simulation();
+  // The winner's own watchdog usually stamped detection when it reported;
+  // if another replica's watchdog won the race to the arbiter, stamp now.
+  if (recovery_.detection_started == 0) {
+    recovery_.detection_started = sim.now();
+    recovery_.detection_latency = sim.now() - last_heartbeat_;
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kDetector, trace::Stage::kRecoveryStart,
+                      sim.now(), committed_epoch_);
+    }
+  }
+  sim.spawn(kernel_->domain(), recover());
+}
+
+void BackupAgent::adopt_resilver(const BackupAgent& src) {
+  // Rebuild the committed stores as copies of the winner's. Page payloads
+  // are shared handles, so this copies records, not page bytes; the bulk
+  // transfer itself is metered by the arbiter on the replication link.
+  if (opts_.optimize_criu) {
+    auto radix =
+        std::make_unique<criu::RadixPageStore>(opts_.resolved_page_shards());
+    radix_ = radix.get();
+    pages_ = std::move(radix);
+  } else {
+    radix_ = nullptr;
+    pages_ = std::make_unique<criu::ListPageStore>();
+  }
+  pages_->begin_checkpoint(src.committed_epoch_);
+  for (const criu::PageRecord* pr : src.pages_->all_pages()) {
+    pages_->store(*pr);
+  }
+  committed_fs_pages_ = src.committed_fs_pages_;
+  committed_fs_inodes_ = src.committed_fs_inodes_;
+  committed_epoch_ = src.committed_epoch_;
+  committed_nd_entries_ = src.committed_nd_entries_;
+  committed_nd_fp_ = src.committed_nd_fp_;
+  last_primary_epoch_len_ = src.last_primary_epoch_len_;
+  acked_epoch_ = src.committed_epoch_;
+  if (audit_ != nullptr) audit_->on_resilver_adopted(committed_epoch_);
+  // The dead primary's uncommitted buffered tail dies here too.
+  drbd_->discard_uncommitted();
+  // The winner consumed its record image during its restore, so there is
+  // no current record set to copy; the survivor is caught up on pages, fs
+  // cache and cursors, and would take fresh records from the promoted
+  // node's first post-failover checkpoint once re-protected.
+  committed_image_.reset();
+  armed_ = false;  // no primary heartbeats to watch until re-protected
 }
 
 criu::CheckpointImage BackupAgent::take_restore_image() {

@@ -29,6 +29,8 @@
 
 namespace nlc::core {
 
+class PromotionArbiter;
+
 /// Passed to the application-level failover hook after restore: the app
 /// framework re-attaches its service loops to the restored kernel objects
 /// (the simulation analogue of the restored processes resuming execution).
@@ -61,6 +63,43 @@ class BackupAgent {
 
   /// Forces recovery now (tests / manual failover).
   void trigger_recovery();
+
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  /// This replica's index in the cluster (0 = the paper's single backup).
+  void set_replica_index(int i) { replica_index_ = i; }
+  int replica_index() const { return replica_index_; }
+  /// Chain topology: store-and-forward received state / log segments to
+  /// the next replica down the chain.
+  void set_downstream(StateChannel* state, LogChannel* log) {
+    downstream_state_ = state;
+    downstream_log_ = log;
+  }
+  /// With an arbiter installed (N > 1), the watchdog reports the primary's
+  /// death there instead of recovering unilaterally; the arbiter elects
+  /// the most caught-up replica and calls promote() on the winner.
+  void set_arbiter(PromotionArbiter* a) { arbiter_ = a; }
+  /// Arbiter entry point: run the failover restore on this replica.
+  void promote();
+  /// Last epoch this replica acknowledged (its catch-up cursor — the
+  /// election key; ahead of committed_epoch() while a commit is in
+  /// flight).
+  std::uint64_t acked_epoch() const { return acked_epoch_; }
+  bool any_ack_sent() const { return any_ack_sent_; }
+  std::uint64_t committed_nd_entries() const { return committed_nd_entries_; }
+  /// Re-silvering (DESIGN.md §16): replace this survivor's committed
+  /// stores with copies of the promoted winner's (the transfer itself is
+  /// metered by the arbiter on the replication link).
+  void adopt_resilver(const BackupAgent& src);
+  /// Arbiter bookkeeping recorded into this (winner) replica's recovery
+  /// metrics.
+  void note_promoted(int winner_index) {
+    recovery_.promoted_replica = winner_index;
+  }
+  void record_resilver(std::uint64_t bytes, Time elapsed) {
+    recovery_.resilver_bytes += bytes;
+    ++recovery_.replicas_resilvered;
+    recovery_.resilver_time += elapsed;
+  }
 
   /// Installs (or clears, with nullptr) the invariant auditor's hooks.
   void set_audit_hooks(BackupAuditHooks* hooks) { audit_ = hooks; }
@@ -99,6 +138,14 @@ class BackupAgent {
   BackupAuditHooks* audit_ = nullptr;
   trace::Recorder* trace_ = nullptr;
   std::function<void(const FailoverContext&)> on_restored_;
+
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  int replica_index_ = 0;
+  StateChannel* downstream_state_ = nullptr;
+  LogChannel* downstream_log_ = nullptr;
+  PromotionArbiter* arbiter_ = nullptr;
+  std::uint64_t acked_epoch_ = 0;
+  bool any_ack_sent_ = false;
 
   std::unique_ptr<criu::PageStore> pages_;
   /// Non-null iff pages_ is a RadixPageStore: lets the commit fold take

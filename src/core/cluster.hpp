@@ -13,16 +13,20 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "blockdev/disk.hpp"
 #include "blockdev/drbd.hpp"
 #include "core/backup_agent.hpp"
 #include "core/options.hpp"
 #include "core/primary_agent.hpp"
+#include "core/promotion.hpp"
 #include "kernel/kernel.hpp"
 #include "net/network.hpp"
 #include "net/tcp.hpp"
 #include "sim/simulation.hpp"
+#include "topo/fault_domains.hpp"
+#include "topo/topology.hpp"
 #include "trace/recorder.hpp"
 
 namespace nlc::core {
@@ -44,6 +48,19 @@ struct ClusterConfig {
   /// a FIFO link model does not.
   double control_link_bps = 1e9;
   Time control_link_latency = nlc::microseconds(100);
+
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  /// Backup replica count. 1 reproduces the paper's two-host testbed
+  /// exactly; extras are appended as additional backup hosts placed across
+  /// the fault-domain tree. Must match Options::replicas at protect().
+  int replicas = 1;
+  /// How replicated state flows: star (primary fans out over its shared
+  /// replication NIC) or chain (per-hop links, store-and-forward).
+  topo::Topology topology = topo::Topology::kStar;
+  /// Fault-domain tree shape the hosts are spread across (primary first,
+  /// then backups, with rack anti-affinity).
+  int sites = 1;
+  int racks_per_site = 2;
 };
 
 class Cluster {
@@ -95,6 +112,41 @@ class Cluster {
   std::unique_ptr<PrimaryAgent> primary_agent;
   std::unique_ptr<BackupAgent> backup_agent;
 
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  /// The construction-time config (replicas, topology, tree shape).
+  ClusterConfig config;
+  /// Placement bookkeeping: host 0 = primary, host 1 + i = backup replica
+  /// i. The client sits outside the replicated fault hierarchy.
+  topo::FaultDomainTree fault_domains;
+  /// Everything one extra backup replica owns (replica i lives at index
+  /// i - 1; replica 0 is the flat two-host member set above, untouched so
+  /// replicas = 1 stays byte-identical to the seed engine).
+  struct BackupReplica {
+    sim::DomainPtr domain;
+    net::HostId host = -1;
+    std::unique_ptr<net::TcpStack> tcp;
+    std::unique_ptr<blk::Disk> disk;
+    std::unique_ptr<net::Channel<blk::DrbdMessage>> drbd_channel;
+    std::unique_ptr<blk::DrbdBackup> drbd;
+    std::unique_ptr<kern::Kernel> kernel;
+    /// Chain only: the hop link feeding this replica (state + DRBD);
+    /// star replicas ride the primary's shared replication NIC instead.
+    std::unique_ptr<net::Link> hop_link;
+    /// Chain only: the hop's event-log priority lane; star replicas share
+    /// the primary NIC's log lane.
+    std::unique_ptr<net::Link> log_link;
+    std::unique_ptr<StateChannel> state_channel;
+    std::unique_ptr<AckChannel> ack_channel;
+    std::unique_ptr<HeartbeatChannel> heartbeat_channel;
+    std::unique_ptr<LogChannel> log_channel;
+    std::unique_ptr<LogAckChannel> log_ack_channel;
+    std::unique_ptr<BackupAgent> agent;
+  };
+  std::vector<std::unique_ptr<BackupReplica>> extra_backups;
+  /// Election + re-silvering coordinator; created by protect() iff
+  /// replicas > 1.
+  std::unique_ptr<PromotionArbiter> arbiter;
+
   /// Flight recorder (src/trace), created by protect() when
   /// Options::trace_level != kOff and wired into both agents, both server
   /// TCP stacks and the DRBD backup. Shared so the harness can hand the
@@ -126,6 +178,20 @@ class Cluster {
     }
     primary_domain->kill();
   }
+
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  int replica_count() const { return config.replicas; }
+  /// Backup replica `i`'s agent / kernel / TCP stack / failure domain.
+  BackupAgent& backup(int i);
+  kern::Kernel& backup_kernel_of(int i);
+  net::TcpStack& backup_tcp_of(int i);
+  sim::DomainPtr backup_domain_of(int i);
+  /// Fail-stop crash of backup replica `i`.
+  void fail_backup(int i);
+  /// Correlated failure: fail-stop every replicated host placed in `rack`
+  /// (possibly the primary and backups together — the scenario the
+  /// anti-affinity placement exists to survive).
+  void fail_rack(int rack);
 
   /// The paper's manual test: unplug every network cable of the primary
   /// (§VII-A). The primary stays alive but can neither replicate nor talk

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/simd.hpp"
 #include "util/stats.hpp"
@@ -51,6 +52,19 @@ struct ReplicationMetrics {
   /// Segments the backup dropped because a committed checkpoint already
   /// contained their effects.
   std::uint64_t log_pruned_segments = 0;
+
+  // ---- N-way quorum replication (DESIGN.md §16) ---------------------------
+  /// Per-replica ack cursor lag behind the quorum cursor (epochs), sampled
+  /// at every quorum advance. Empty in the two-node configuration (N = 1),
+  /// so existing reports are untouched.
+  std::vector<Samples> replica_ack_lag;
+  /// Per epoch: time from the first replica's ack to the K-th (the quorum
+  /// wait the slowest needed replica adds). N > 1 only.
+  Samples quorum_wait_ms;
+  /// State + log bytes actually placed on replication links, counting every
+  /// fan-out copy (primary sends per direct replica; chain forwards add
+  /// theirs). At N = 1 this equals bytes_shipped + log_bytes_shipped.
+  std::uint64_t wire_bytes_fanout = 0;
 
   // ---- Adaptive epoch controller (DESIGN.md §15) --------------------------
   /// Execute-phase length each completed epoch actually ran (constant
@@ -122,6 +136,13 @@ struct RecoveryMetrics {
   /// retransmitted by the client, so the log must carry them).
   std::uint64_t inputs_reinjected = 0;
   Time replay_time = 0;
+  // ---- N-way quorum replication (DESIGN.md §16) ---------------------------
+  /// Replica index the arbiter promoted (-1 = the lone backup / none).
+  int promoted_replica = -1;
+  /// Full-state catch-up stream to the surviving backups after promotion.
+  std::uint64_t resilver_bytes = 0;
+  std::uint64_t replicas_resilvered = 0;
+  Time resilver_time = 0;
 };
 
 }  // namespace nlc::core

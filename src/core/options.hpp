@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "topo/topology.hpp"
 #include "util/simd.hpp"
 #include "util/time.hpp"
 #include "util/worker_pool.hpp"
@@ -125,6 +126,25 @@ struct Options {
   /// cutting and shipping a log segment. Bounds the added client latency
   /// together with the replication-link round trip.
   Time log_flush_delay = nlc::microseconds(50);
+
+  // ---- N-way replication (DESIGN.md §16) -----------------------------------
+  /// Backup replica count. 1 reproduces the paper's two-node testbed
+  /// byte-identically; N > 1 places the backups across the cluster's
+  /// fault-domain tree and releases output on a K-of-N quorum.
+  int replicas = 1;
+  /// Acks required before plugged output (and, in replay mode, the log
+  /// segment) releases. 0 = auto: a majority, replicas / 2 + 1.
+  int quorum_k = 0;
+  /// How epoch state and the nd-event log reach the replicas: star fan-out
+  /// from the primary's replication NIC, or a store-and-forward chain
+  /// through the backups (topo/topology.hpp).
+  topo::Topology topology = topo::Topology::kStar;
+
+  int resolved_quorum() const {
+    int k = quorum_k > 0 ? quorum_k : replicas / 2 + 1;
+    if (k < 1) k = 1;
+    return k > replicas ? replicas : k;
+  }
 
   // ---- Failure detection (§IV) ---------------------------------------------
   Time heartbeat_interval = nlc::milliseconds(30);

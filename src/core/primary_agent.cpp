@@ -1,5 +1,7 @@
 #include "core/primary_agent.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -14,8 +16,6 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
                            LogChannel& log_out, LogAckChannel& log_ack_in,
                            ReplicationMetrics& metrics)
     : opts_(opts), kernel_(&kernel), tcp_(&tcp), cid_(cid), drbd_(&drbd),
-      state_out_(&state_out), ack_in_(&ack_in), hb_out_(&hb_out),
-      log_out_(&log_out), log_ack_in_(&log_ack_in),
       metrics_(&metrics), ckpt_(kernel, tcp), cache_(kernel, cid),
       delta_(opts.resolved_page_shards(), opts.resolved_simd_tier()),
       rng_(opts.seed ^ 0x9e37'79b9'7f4a'7c15ull),
@@ -24,6 +24,19 @@ PrimaryAgent::PrimaryAgent(Options opts, kern::Kernel& kernel,
       log_flush_event_(std::make_unique<sim::Event>(kernel.simulation())) {
   metrics_->page_shards_used = delta_.shards();
   metrics_->simd_tier_used = delta_.simd_tier();
+  replicas_.push_back(Replica{&state_out, &ack_in, &hb_out, &log_out,
+                              &log_ack_in, /*direct=*/true, 0, false});
+  quorum_k_ = opts_.resolved_quorum();
+}
+
+void PrimaryAgent::add_replica(StateChannel& state_out, AckChannel& ack_in,
+                               HeartbeatChannel& hb_out, LogChannel& log_out,
+                               LogAckChannel& log_ack_in, bool direct) {
+  NLC_CHECK_MSG(!started_, "add_replica after start");
+  NLC_CHECK_MSG(replicas_.size() < kMaxReplicas, "too many replicas");
+  replicas_.push_back(
+      Replica{&state_out, &ack_in, &hb_out, &log_out, &log_ack_in, direct,
+              0, false});
 }
 
 PrimaryAgent::~PrimaryAgent() {
@@ -72,6 +85,12 @@ net::PlugQdisc& PrimaryAgent::plug() {
 
 sim::task<> PrimaryAgent::start() {
   sim::Simulation& sim = kernel_->simulation();
+  started_ = true;
+  NLC_CHECK_MSG(quorum_k_ <= static_cast<int>(replicas_.size()),
+                "quorum K exceeds the registered replica count");
+  if (replicas_.size() > 1) {
+    metrics_->replica_ack_lag.assign(replicas_.size(), Samples{});
+  }
   // Output commit from the very beginning: no packet escapes without a
   // committed checkpoint behind it.
   plug().engage();
@@ -84,7 +103,9 @@ sim::task<> PrimaryAgent::start() {
   // state copy takes far longer than the detector's 90 ms budget, and the
   // agent driving it is proof of life.
   sim.spawn(kernel_->domain(), heartbeat_loop());
-  sim.spawn(kernel_->domain(), ack_loop());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    sim.spawn(kernel_->domain(), ack_loop(r));
+  }
 
   if (replay_mode()) {
     // HyCoR output commit (DESIGN.md §14): record every nondeterministic
@@ -104,7 +125,9 @@ sim::task<> PrimaryAgent::start() {
         });
     plug().set_enqueue_hook([this] { log_flush_event_->set(); });
     sim.spawn(kernel_->domain(), log_flush_loop());
-    sim.spawn(kernel_->domain(), log_ack_loop());
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      sim.spawn(kernel_->domain(), log_ack_loop(r));
+    }
   }
 
   // Initial full synchronization (Remus's initial state copy).
@@ -168,7 +191,18 @@ sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged,
                                      Time precopy) {
   sim::Simulation& sim = kernel_->simulation();
   const std::uint64_t epoch = msg.epoch;
-  Time cost = precopy + send_side_cost(msg, staged);
+  // Star fan-out (DESIGN.md §16): each directly-fed replica is a separate
+  // socket write from the one dumper thread — the per-MB send cost repeats
+  // per destination, while the COW copy-out and the delta encode happen
+  // once regardless of fan-out.
+  int ndirect = 0;
+  for (const Replica& rp : replicas_) ndirect += rp.direct ? 1 : 0;
+  NLC_CHECK(ndirect >= 1);
+  const Time per_dest = send_side_cost(msg, staged);
+  const Time encode_once = static_cast<Time>(msg.compressed_pages) *
+                           ckpt_.costs().delta_compress_per_page;
+  Time cost = precopy + per_dest +
+              static_cast<Time>(ndirect - 1) * (per_dest - encode_once);
   metrics_->primary_agent_busy += cost;
   // One dumper/sender thread: staged ships of consecutive epochs queue
   // behind each other rather than overlapping. Besides modeling the real
@@ -187,7 +221,17 @@ sim::task<> PrimaryAgent::ship_state(EpochStateMsg msg, bool staged,
   }
   co_await sim.sleep_for(ship_busy_until_ - sim.now());
   std::uint64_t bytes = msg.wire_bytes;
-  state_out_->send(std::move(msg), bytes);
+  metrics_->wire_bytes_fanout += bytes * static_cast<std::uint64_t>(ndirect);
+  StateChannel* last_out = nullptr;
+  for (Replica& rp : replicas_) {
+    if (rp.direct) last_out = rp.state_out;
+  }
+  for (Replica& rp : replicas_) {
+    if (!rp.direct || rp.state_out == last_out) continue;
+    EpochStateMsg copy = msg;
+    rp.state_out->send(std::move(copy), bytes);
+  }
+  last_out->send(std::move(msg), bytes);
   if (EpochRec* rec = find_rec(epoch)) rec->ship_e = sim.now();
   if (trace_ != nullptr) {
     trace_->span_end(trace::Track::kPrimaryShip, trace::Stage::kShip,
@@ -411,23 +455,91 @@ sim::task<> PrimaryAgent::checkpoint_once(bool initial) {
   ++epoch_;
 }
 
-sim::task<> PrimaryAgent::ack_loop() {
+sim::task<> PrimaryAgent::ack_loop(std::size_t replica) {
   // Gated on running_ like epoch_loop/heartbeat_loop: after stop() the
   // next ack (if any) is still applied — releasing output that the backup
   // committed is always correct — but then the loop exits instead of
   // parking on recv() until teardown destroys the frame.
   while (running_) {
-    AckMsg ack = co_await ack_in_->recv();
-    NLC_CHECK_MSG(ack.epoch >= acked_epoch_, "acks must be monotone");
-    acked_epoch_ = ack.epoch;
-    any_acked_ = true;
-    if (audit_ != nullptr) audit_->on_ack_received(ack.epoch);
-    if (trace_ != nullptr) {
-      trace_->instant(trace::Track::kPrimary, trace::Stage::kAckRecv,
-                      kernel_->simulation().now(), ack.epoch);
+    AckMsg ack = co_await replicas_[replica].ack_in->recv();
+    apply_replica_ack(replica, ack.epoch);
+  }
+}
+
+std::uint64_t PrimaryAgent::quorum_epoch(bool* any) const {
+  std::array<std::uint64_t, kMaxReplicas> cur{};
+  std::size_t n = 0;
+  for (const Replica& rp : replicas_) {
+    if (rp.any_acked) cur[n++] = rp.acked_epoch;
+  }
+  if (n < static_cast<std::size_t>(quorum_k_)) {
+    *any = false;
+    return 0;
+  }
+  std::sort(cur.begin(), cur.begin() + static_cast<std::ptrdiff_t>(n),
+            std::greater<>());
+  *any = true;
+  return cur[static_cast<std::size_t>(quorum_k_) - 1];
+}
+
+void PrimaryAgent::sample_quorum_metrics(std::uint64_t q, Time now) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Replica& rp = replicas_[i];
+    const std::uint64_t cursor = rp.any_acked ? rp.acked_epoch : 0;
+    if (i < metrics_->replica_ack_lag.size()) {
+      metrics_->replica_ack_lag[i].add(
+          static_cast<double>(cursor >= q ? 0 : q - cursor));
     }
-    ack_event_->set();
-    EpochRec* rec = find_rec(ack.epoch);
+  }
+  if (EpochRec* rec = find_rec(q);
+      rec != nullptr && rec->first_ack_at >= 0) {
+    metrics_->quorum_wait_ms.add(to_millis(now - rec->first_ack_at));
+  }
+}
+
+void PrimaryAgent::apply_replica_ack(std::size_t r, std::uint64_t epoch) {
+  Replica& rep = replicas_[r];
+  NLC_CHECK_MSG(!rep.any_acked || epoch >= rep.acked_epoch,
+                "acks must be monotone");
+  rep.acked_epoch = epoch;
+  rep.any_acked = true;
+  const Time now = kernel_->simulation().now();
+  const bool multi = replicas_.size() > 1;
+  if (audit_ != nullptr) audit_->on_replica_ack(static_cast<int>(r), epoch);
+  if (multi) {
+    if (trace_ != nullptr) {
+      trace_->instant(trace::Track::kPrimary, trace::Stage::kReplicaAck, now,
+                      epoch);
+    }
+    if (EpochRec* rec = find_rec(epoch);
+        rec != nullptr && rec->first_ack_at < 0) {
+      rec->first_ack_at = now;
+    }
+  }
+  // Quorum gate: the released cursor is the K-th largest per-replica
+  // cursor. At N = 1 every ack IS a quorum advance (K = 1), reproducing
+  // the two-node engine's behaviour exactly.
+  bool qany = false;
+  const std::uint64_t q = quorum_epoch(&qany);
+  if (!qany) return;
+  const bool advanced = !multi || !any_acked_ || q > acked_epoch_;
+  if (!advanced) return;
+  const std::uint64_t prev = acked_epoch_;
+  const bool had = any_acked_;
+  acked_epoch_ = q;
+  any_acked_ = true;
+  if (audit_ != nullptr) audit_->on_ack_received(q);
+  if (trace_ != nullptr) {
+    trace_->instant(trace::Track::kPrimary, trace::Stage::kAckRecv, now, q);
+  }
+  ack_event_->set();
+  if (multi) sample_quorum_metrics(q, now);
+  // Release every live epoch the quorum advance covers. A single advance
+  // can commit several epochs at once when the K-th replica catches up in
+  // one jump (chain topology under lag).
+  const std::uint64_t from = had ? prev + 1 : 0;
+  for (std::uint64_t e = from; e <= q; ++e) {
+    EpochRec* rec = find_rec(e);
     if (rec != nullptr && rec->marker_inserted) release_epoch(*rec);
   }
 }
@@ -553,7 +665,24 @@ sim::task<> PrimaryAgent::log_flush_loop() {
                       sim.now(), bytes);
     }
     co_await sim.sleep_for(cost);
-    log_out_->send(std::move(seg), bytes);
+    // Fan out to every directly-fed replica (star); chain replicas get the
+    // segment forwarded by their upstream BackupAgent.
+    LogChannel* last_out = nullptr;
+    int ndirect = 0;
+    for (Replica& rp : replicas_) {
+      if (rp.direct) {
+        last_out = rp.log_out;
+        ++ndirect;
+      }
+    }
+    metrics_->wire_bytes_fanout +=
+        bytes * static_cast<std::uint64_t>(ndirect);
+    for (Replica& rp : replicas_) {
+      if (!rp.direct || rp.log_out == last_out) continue;
+      LogSegmentMsg copy = seg;
+      rp.log_out->send(std::move(copy), bytes);
+    }
+    last_out->send(std::move(seg), bytes);
     if (trace_ != nullptr) {
       trace_->span_end(trace::Track::kPrimaryShip, trace::Stage::kLogShip,
                        sim.now(), seq);
@@ -561,32 +690,43 @@ sim::task<> PrimaryAgent::log_flush_loop() {
   }
 }
 
-sim::task<> PrimaryAgent::log_ack_loop() {
+sim::task<> PrimaryAgent::log_ack_loop(std::size_t replica) {
   while (running_) {
-    LogAckMsg ack = co_await log_ack_in_->recv();
+    LogAckMsg ack = co_await replicas_[replica].log_ack_in->recv();
     auto it = seg_recs_.find(ack.seq);
     NLC_CHECK_MSG(it != seg_recs_.end(), "log ack for an unknown segment");
-    if (audit_ != nullptr) audit_->on_log_ack_received(ack.seq);
-    const Time now = kernel_->simulation().now();
-    if (trace_ != nullptr) {
-      trace_->instant(trace::Track::kPrimary, trace::Stage::kLogAckRecv, now,
-                      ack.seq);
+    if (audit_ != nullptr) {
+      audit_->on_replica_log_ack(static_cast<int>(replica), ack.seq);
     }
-    // Output commit, replay flavor: the backup can replay to this
-    // segment's end, so everything buffered before its marker may leave.
-    if (audit_ != nullptr) audit_->on_log_release(ack.seq);
-    if (trace_ != nullptr) {
-      trace_->instant(trace::Track::kPrimary, trace::Stage::kLogRelease, now,
-                      ack.seq);
-      const std::uint64_t released_before = plug().released_total();
-      plug().release_to_marker(it->second.marker);
-      trace_->instant(trace::Track::kNetPrimary, trace::Stage::kPlugRelease,
-                      now, plug().released_total() - released_before);
-    } else {
-      plug().release_to_marker(it->second.marker);
+    SegRec& sr = it->second;
+    ++sr.acks;
+    if (!sr.released && sr.acks >= quorum_k_) {
+      // K-of-N log quorum: the K-th replica can replay to this segment's
+      // end, so everything buffered before its marker may leave.
+      sr.released = true;
+      if (audit_ != nullptr) audit_->on_log_ack_received(ack.seq);
+      const Time now = kernel_->simulation().now();
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kPrimary, trace::Stage::kLogAckRecv,
+                        now, ack.seq);
+      }
+      if (audit_ != nullptr) audit_->on_log_release(ack.seq);
+      if (trace_ != nullptr) {
+        trace_->instant(trace::Track::kPrimary, trace::Stage::kLogRelease,
+                        now, ack.seq);
+        const std::uint64_t released_before = plug().released_total();
+        plug().release_to_marker(sr.marker);
+        trace_->instant(trace::Track::kNetPrimary,
+                        trace::Stage::kPlugRelease, now,
+                        plug().released_total() - released_before);
+      } else {
+        plug().release_to_marker(sr.marker);
+      }
+      metrics_->log_commit_latency_ms.add(to_millis(now - sr.cut_at));
     }
-    metrics_->log_commit_latency_ms.add(to_millis(now - it->second.cut_at));
-    seg_recs_.erase(it);
+    // Retire only once every replica confirmed; with N = 1 that is the
+    // same step as the release above, keeping the two-node path intact.
+    if (sr.acks >= static_cast<int>(replicas_.size())) seg_recs_.erase(it);
   }
 }
 
@@ -603,7 +743,12 @@ sim::task<> PrimaryAgent::heartbeat_loop() {
     // frozen by our own checkpoint is alive by construction, so the agent
     // keeps beating through long pauses instead of inducing a false alarm.
     if (usage > last_usage || c->frozen()) {
-      hb_out_->send(HeartbeatMsg{seq++, sim.now()}, 64);
+      // The control plane is a star regardless of replication topology:
+      // every replica's detector hears the primary directly.
+      for (Replica& rp : replicas_) {
+        rp.hb_out->send(HeartbeatMsg{seq, sim.now()}, 64);
+      }
+      ++seq;
     }
     last_usage = usage;
   }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "blockdev/drbd.hpp"
 #include "core/audit_hooks.hpp"
@@ -43,6 +44,22 @@ class PrimaryAgent {
   /// (both outlive the agent in the Cluster).
   ~PrimaryAgent();
 
+  /// Registers one more backup replica (index = registration order; the
+  /// constructor's channels are replica 0). `direct` = fed straight from
+  /// this agent (star: every replica; chain: only the head — downstream
+  /// replicas get their state forwarded by their upstream BackupAgent but
+  /// still ack directly here). Must be called before start().
+  void add_replica(StateChannel& state_out, AckChannel& ack_in,
+                   HeartbeatChannel& hb_out, LogChannel& log_out,
+                   LogAckChannel& log_ack_in, bool direct);
+
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+  int quorum() const { return quorum_k_; }
+  /// Replica `r`'s last acked epoch (the per-replica cursor).
+  std::uint64_t replica_acked_epoch(int r) const {
+    return replicas_[static_cast<std::size_t>(r)].acked_epoch;
+  }
+
   /// Spawns the epoch loop, ack receiver and heartbeat sender under the
   /// primary host's domain. Returns once the initial full synchronization
   /// has been acknowledged by the backup (the container is protected from
@@ -67,10 +84,10 @@ class PrimaryAgent {
 
  private:
   sim::task<> epoch_loop();
-  sim::task<> ack_loop();
+  sim::task<> ack_loop(std::size_t replica);
   sim::task<> heartbeat_loop();
   sim::task<> log_flush_loop();
-  sim::task<> log_ack_loop();
+  sim::task<> log_ack_loop(std::size_t replica);
   bool replay_mode() const { return opts_.commit_mode == CommitMode::kReplay; }
   sim::task<> checkpoint_once(bool initial);
   /// `precopy` is the COW copy-out deferred from the stop window (replay
@@ -90,14 +107,38 @@ class PrimaryAgent {
   net::TcpStack* tcp_;
   kern::ContainerId cid_;
   blk::DrbdPrimary* drbd_;
-  StateChannel* state_out_;
-  AckChannel* ack_in_;
-  HeartbeatChannel* hb_out_;
-  LogChannel* log_out_;
-  LogAckChannel* log_ack_in_;
   ReplicationMetrics* metrics_;
   PrimaryAuditHooks* audit_ = nullptr;
   trace::Recorder* trace_ = nullptr;
+
+  // ---- N-way replication (DESIGN.md §16) ----------------------------------
+  /// One entry per backup replica. Replica 0 is the constructor's channel
+  /// set (the paper's single backup); extras register via add_replica().
+  /// The per-replica cursors feed the quorum gate: acked_epoch_/any_acked_
+  /// below hold the *quorum* cursor (K-th largest), which at N = 1
+  /// degenerates to the lone backup's cursor — the legacy semantics.
+  struct Replica {
+    StateChannel* state_out;
+    AckChannel* ack_in;
+    HeartbeatChannel* hb_out;
+    LogChannel* log_out;
+    LogAckChannel* log_ack_in;
+    bool direct = true;
+    std::uint64_t acked_epoch = 0;
+    bool any_acked = false;
+  };
+  static constexpr std::size_t kMaxReplicas = 16;
+  std::vector<Replica> replicas_;
+  int quorum_k_ = 1;
+  bool started_ = false;
+  /// Applies replica `r`'s ack, recomputes the quorum cursor and releases
+  /// every epoch a quorum advance covers. The whole body runs in one
+  /// scheduler step (no co_await), like the old single-backup ack_loop.
+  void apply_replica_ack(std::size_t r, std::uint64_t epoch);
+  /// K-th largest per-replica cursor; *any = false until K replicas acked.
+  std::uint64_t quorum_epoch(bool* any) const;
+  /// Per-replica ack lag + quorum wait samples at a quorum advance (N > 1).
+  void sample_quorum_metrics(std::uint64_t q, Time now);
 
   criu::CheckpointEngine ckpt_;
   InfrequentStateCache cache_;
@@ -140,6 +181,9 @@ class PrimaryAgent {
     std::uint64_t wire_bytes = 0;
     std::uint64_t nd_entries_delta = 0;
     std::uint64_t log_bytes_delta = 0;
+    /// First replica ack's arrival (-1 = none yet); with N > 1 the quorum
+    /// wait is the K-th ack minus this.
+    Time first_ack_at = -1;
   };
   static constexpr std::size_t kEpochWindow = 8;  // > max in-flight epochs
   EpochRec& emplace_rec(std::uint64_t epoch);
@@ -193,6 +237,10 @@ class PrimaryAgent {
   struct SegRec {
     std::uint64_t marker = 0;
     Time cut_at = 0;
+    /// Replica acks seen; output releases at the K-th, the record retires
+    /// at the N-th (a dead replica leaves a bounded leak, erased never).
+    int acks = 0;
+    bool released = false;
   };
   std::map<std::uint64_t, SegRec> seg_recs_;
   /// log_bytes_shipped high-water at the previous checkpoint, for the

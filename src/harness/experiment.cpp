@@ -71,7 +71,14 @@ struct ServerRunState {
 
 RunResult run_experiment(const RunConfig& cfg) {
   RunResult res;
-  Cluster cl;
+  // The cluster's replica set and wiring topology are construction-time
+  // properties (protect() cross-checks them against the Options).
+  core::ClusterConfig ccfg;
+  if (cfg.mode == Mode::kNiLiCon) {
+    ccfg.replicas = cfg.nilicon.replicas;
+    ccfg.topology = cfg.nilicon.topology;
+  }
+  Cluster cl(ccfg);
   Rng rng(cfg.seed);
 
   // Declared after cl so the auditor detaches from the still-live cluster
@@ -92,8 +99,6 @@ RunResult run_experiment(const RunConfig& cfg) {
 
   apps::AppEnv primary_env{&cl.sim, cl.primary_kernel.get(), &cl.primary_tcp,
                            core::kServiceIp, cfg.seed ^ 0xA11};
-  apps::AppEnv backup_env{&cl.sim, cl.backup_kernel.get(), &cl.backup_tcp,
-                          core::kServiceIp, cfg.seed ^ 0xB22};
 
   std::unique_ptr<apps::ServerApp> server;
   std::unique_ptr<apps::BatchApp> batch;
@@ -168,27 +173,56 @@ RunResult run_experiment(const RunConfig& cfg) {
     // created inside protect(); hook installed right after.
   }
 
+  // Fault dispatch: which host(s) die at the injection point.
+  auto do_fault = [&cl, &cfg] {
+    switch (cfg.fault_kind) {
+      case FaultKind::kPrimary:
+        cl.fail_primary();
+        break;
+      case FaultKind::kBackup:
+        cl.fail_backup(cfg.fault_backup_index);
+        break;
+      case FaultKind::kRack:
+        // Correlated loss of the primary's rack — the anti-affinity
+        // placement decides which backups (if any) go down with it.
+        cl.fail_rack(cl.fault_domains.rack_of(0));
+        break;
+      case FaultKind::kDouble:
+        cl.fail_backup(cfg.fault_backup_index);
+        cl.sim.call_after(nlc::milliseconds(50), [&cl] { cl.fail_primary(); });
+        break;
+    }
+  };
+
   auto orchestrator = [&]() -> task<> {
     // Protection first (small initial sync), then load.
     if (cfg.mode == Mode::kNiLiCon) {
       co_await cl.protect(cid, cfg.nilicon);
-      cl.backup_agent->set_on_restored(
-          [&, state](const core::FailoverContext& ctx) {
-            if (cfg.spec.interactive) {
-              state->restored_app = apps::ServerApp::attach_restored(
-                  backup_env, cfg.spec, ctx);
-              state->restored_app->set_dilation(1.0);  // unprotected now
-            } else {
-              state->restored_batch = apps::BatchApp::attach_restored(
-                  backup_env, batch_spec, ctx);
-            }
-            if (cfg.with_diskstress) {
-              state->restored_diskstress = apps::DiskStressApp::attach_restored(
-                  backup_env, ctx);
-              res.diskstress_post_failover_mismatches =
-                  state->restored_diskstress->verify_all();
-            }
-          });
+      // Every replica gets the reattachment hook: with N > 1 the arbiter
+      // decides at fault time which backup restores, so the hook must be
+      // armed everywhere with that replica's own kernel/TCP environment.
+      for (int i = 0; i < cl.replica_count(); ++i) {
+        apps::AppEnv renv{&cl.sim, &cl.backup_kernel_of(i),
+                          &cl.backup_tcp_of(i), core::kServiceIp,
+                          cfg.seed ^ 0xB22};
+        cl.backup(i).set_on_restored(
+            [&, state, renv](const core::FailoverContext& ctx) {
+              if (cfg.spec.interactive) {
+                state->restored_app = apps::ServerApp::attach_restored(
+                    renv, cfg.spec, ctx);
+                state->restored_app->set_dilation(1.0);  // unprotected now
+              } else {
+                state->restored_batch = apps::BatchApp::attach_restored(
+                    renv, batch_spec, ctx);
+              }
+              if (cfg.with_diskstress) {
+                state->restored_diskstress =
+                    apps::DiskStressApp::attach_restored(renv, ctx);
+                res.diskstress_post_failover_mismatches =
+                    state->restored_diskstress->verify_all();
+              }
+            });
+      }
       if (server) server->set_dilation(cfg.spec.dilation_nilicon);
       if (batch) batch->set_dilation(cfg.spec.dilation_nilicon);
     } else if (cfg.mode == Mode::kMc) {
@@ -214,10 +248,10 @@ RunResult run_experiment(const RunConfig& cfg) {
         double frac = 0.1 + 0.8 * rng.uniform01();
         Time when = win->start + static_cast<Time>(
                                      frac * static_cast<double>(cfg.measure));
-        cl.sim.call_after(when - cl.sim.now(), [&cl, win, &client] {
+        cl.sim.call_after(when - cl.sim.now(), [&cl, win, &client, &do_fault] {
           win->fault_time = cl.sim.now();
           win->completed_at_fault = client.completed();
-          cl.fail_primary();
+          do_fault();
         });
       }
       co_await cl.sim.sleep_for(cfg.measure);
@@ -239,7 +273,10 @@ RunResult run_experiment(const RunConfig& cfg) {
                     static_cast<Time>(frac *
                                       static_cast<double>(cfg.batch_work));
         cl.sim.call_after(when - cl.sim.now(),
-                          [&cl] { cl.fail_primary(); });
+                          [win, &cl, &do_fault] {
+                            win->fault_time = cl.sim.now();
+                            do_fault();
+                          });
       }
       // The original workers die with the primary on a fault run; the
       // restored instance (if any) finishes the remaining quota.
@@ -253,7 +290,9 @@ RunResult run_experiment(const RunConfig& cfg) {
     }
     if (cl.primary_agent) cl.primary_agent->stop();
     if (mc_driver) mc_driver->stop();
-    if (cl.backup_agent) cl.backup_agent->disarm();
+    if (cl.backup_agent) {
+      for (int i = 0; i < cl.replica_count(); ++i) cl.backup(i).disarm();
+    }
     cl.sim.stop();
   };
   cl.sim.spawn(orchestrator());
@@ -265,10 +304,13 @@ RunResult run_experiment(const RunConfig& cfg) {
     res.audited = true;
     res.audit = auditor->stats();
     if (res.trace != nullptr) {
-      // Re-verify the two commit orderings post hoc from the recorded
-      // stream — the trace must tell the same story the live mirrors saw.
+      // Re-verify the commit orderings post hoc from the recorded stream —
+      // the trace must tell the same story the live mirrors saw (with
+      // N > 1 this includes the K-of-N quorum-release rule).
       res.audit.trace_order_checks =
-          check::audit_trace_ordering(res.trace->drain()).total();
+          check::audit_trace_ordering(res.trace->drain(),
+                                      cfg.nilicon.resolved_quorum())
+              .total();
     }
   }
 
@@ -299,13 +341,24 @@ RunResult run_experiment(const RunConfig& cfg) {
   res.metrics = cl.metrics;
   res.wire_bytes_window = cl.metrics.bytes_shipped - win->wire_at_start;
   res.epochs_window = cl.metrics.epochs_completed - win->epochs_at_start;
-  kern::Kernel* end_kernel =
-      (cfg.inject_fault && cl.backup_agent && cl.backup_agent->recovered())
-          ? cl.backup_kernel.get()
-          : cl.primary_kernel.get();
+  // With N > 1 the arbiter may have promoted any surviving replica; the
+  // end-of-run kernel (and the recovery metrics) are the winner's.
+  core::BackupAgent* survivor = nullptr;
+  int survivor_index = 0;
+  if (cl.backup_agent != nullptr) {
+    for (int i = 0; i < cl.replica_count(); ++i) {
+      if (cl.backup(i).recovered()) {
+        survivor = &cl.backup(i);
+        survivor_index = i;
+      }
+    }
+  }
+  kern::Kernel* end_kernel = (cfg.inject_fault && survivor != nullptr)
+                                 ? &cl.backup_kernel_of(survivor_index)
+                                 : cl.primary_kernel.get();
   kern::Container* end_cont = end_kernel->container(cid);
   Time cpu_end = 0;
-  if (cfg.inject_fault && end_kernel == cl.backup_kernel.get()) {
+  if (cfg.inject_fault && survivor != nullptr) {
     // Active-core accounting spans hosts after a failover; report the
     // pre-fault primary usage rate instead.
     cpu_end = win->fault_time > 0 ? cont.cpu().usage() : 0;
@@ -326,8 +379,11 @@ RunResult run_experiment(const RunConfig& cfg) {
 
   if (cfg.inject_fault) {
     res.fault_injected = win->fault_time > 0;
-    if (cl.backup_agent) {
-      res.recovered = cl.backup_agent->recovered();
+    if (survivor != nullptr) {
+      res.recovered = true;
+      res.recovery = survivor->recovery_metrics();
+    } else if (cl.backup_agent) {
+      res.recovered = false;
       res.recovery = cl.backup_agent->recovery_metrics();
     }
     res.requests_after_fault = client.completed() - win->completed_at_fault;

@@ -32,6 +32,28 @@ inline const char* mode_name(Mode m) {
   return "?";
 }
 
+/// What fails when RunConfig::inject_fault is set (DESIGN.md §16). The
+/// non-primary kinds need mode == kNiLiCon with Options::replicas > 1.
+enum class FaultKind {
+  kPrimary,     // fail-stop primary crash (the paper's §VII-A scenario)
+  kBackup,      // fail-stop crash of one backup replica — no failover;
+                //   the quorum must absorb it with zero client-visible loss
+  kRack,        // correlated failure of the primary's whole rack (takes any
+                //   backup the anti-affinity placement co-located with it)
+  kDouble,      // one backup crashes, the primary follows 50 ms later —
+                //   the surviving replicas must still elect and recover
+};
+
+inline const char* fault_kind_name(FaultKind f) {
+  switch (f) {
+    case FaultKind::kPrimary: return "primary";
+    case FaultKind::kBackup: return "backup";
+    case FaultKind::kRack: return "rack";
+    case FaultKind::kDouble: return "double";
+  }
+  return "?";
+}
+
 struct RunConfig {
   apps::AppSpec spec;
   Mode mode = Mode::kNiLiCon;
@@ -53,6 +75,11 @@ struct RunConfig {
   // of the measurement window. After recovery the run continues to the end
   // of the window so post-failover progress is observable.
   bool inject_fault = false;
+  /// Which host(s) the injected fault takes (N-way runs can crash backups
+  /// and whole racks, not just the primary).
+  FaultKind fault_kind = FaultKind::kPrimary;
+  /// Replica index crashed by kBackup / kDouble (0 = the first backup).
+  int fault_backup_index = 1;
   /// Run a diskstress process alongside (first validation microbenchmark).
   bool with_diskstress = false;
 };

@@ -1,0 +1,61 @@
+#include "topo/fault_domains.hpp"
+
+#include "util/assert.hpp"
+
+namespace nlc::topo {
+
+FaultDomainTree::FaultDomainTree(int sites, int racks_per_site)
+    : sites_(sites), racks_per_site_(racks_per_site) {
+  NLC_CHECK_MSG(sites >= 1 && racks_per_site >= 1,
+                "fault-domain tree needs at least one rack in one site");
+  rack_load_.assign(static_cast<std::size_t>(rack_count()), 0);
+}
+
+int FaultDomainTree::place_host() {
+  // Anti-affinity: least-loaded rack; on a tie, least-loaded site; on a
+  // further tie, lowest rack id (a total order, so placement is a pure
+  // function of the call sequence).
+  std::vector<int> site_load(static_cast<std::size_t>(sites_), 0);
+  for (int r = 0; r < rack_count(); ++r) {
+    site_load[static_cast<std::size_t>(site_of_rack(r))] +=
+        rack_load_[static_cast<std::size_t>(r)];
+  }
+  int best = 0;
+  for (int r = 1; r < rack_count(); ++r) {
+    const int rl = rack_load_[static_cast<std::size_t>(r)];
+    const int bl = rack_load_[static_cast<std::size_t>(best)];
+    if (rl < bl) {
+      best = r;
+      continue;
+    }
+    if (rl == bl) {
+      const int rs = site_load[static_cast<std::size_t>(site_of_rack(r))];
+      const int bs = site_load[static_cast<std::size_t>(site_of_rack(best))];
+      if (rs < bs) best = r;
+    }
+  }
+  ++rack_load_[static_cast<std::size_t>(best)];
+  host_rack_.push_back(best);
+  return best;
+}
+
+int FaultDomainTree::rack_of(int host) const {
+  NLC_CHECK_MSG(host >= 0 && host < hosts_placed(),
+                "rack_of: host was never placed");
+  return host_rack_[static_cast<std::size_t>(host)];
+}
+
+int FaultDomainTree::rack_load(int rack) const {
+  NLC_CHECK_MSG(rack >= 0 && rack < rack_count(), "rack_load: no such rack");
+  return rack_load_[static_cast<std::size_t>(rack)];
+}
+
+std::vector<int> FaultDomainTree::hosts_in_rack(int rack) const {
+  std::vector<int> hosts;
+  for (int h = 0; h < hosts_placed(); ++h) {
+    if (host_rack_[static_cast<std::size_t>(h)] == rack) hosts.push_back(h);
+  }
+  return hosts;
+}
+
+}  // namespace nlc::topo

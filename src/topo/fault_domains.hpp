@@ -1,0 +1,46 @@
+// Hierarchical fault-domain tree (DESIGN.md §16).
+//
+// Models the placement hierarchy a fleet operator cares about for
+// correlated failures: site / rack / host. Hosts are placed one at a time
+// with anti-affinity — each new host goes into the least-loaded rack,
+// preferring the least-loaded site on a tie — so 1 primary + N backups
+// spread across non-overlapping domains and a single rack (or site) loss
+// can never take out more than ceil((N+1)/racks) members. DAOS's pool-map
+// fault domains are the template (ROADMAP item 1).
+//
+// Placement is pure bookkeeping: deterministic, no simulation objects, no
+// randomness — the same construction sequence always yields the same
+// rack assignment, which the crash-injection scenarios (correlated rack
+// failure) rely on.
+#pragma once
+
+#include <vector>
+
+namespace nlc::topo {
+
+class FaultDomainTree {
+ public:
+  /// `sites` top-level domains, each holding `racks_per_site` racks.
+  explicit FaultDomainTree(int sites = 1, int racks_per_site = 2);
+
+  /// Places the next host (hosts are indexed by placement order) and
+  /// returns its global rack id.
+  int place_host();
+
+  int rack_of(int host) const;
+  int site_of_rack(int rack) const { return rack / racks_per_site_; }
+  int rack_count() const { return sites_ * racks_per_site_; }
+  int site_count() const { return sites_; }
+  int hosts_placed() const { return static_cast<int>(host_rack_.size()); }
+  int rack_load(int rack) const;
+  /// Hosts placed into `rack`, in placement order.
+  std::vector<int> hosts_in_rack(int rack) const;
+
+ private:
+  int sites_;
+  int racks_per_site_;
+  std::vector<int> rack_load_;
+  std::vector<int> host_rack_;
+};
+
+}  // namespace nlc::topo

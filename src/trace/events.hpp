@@ -88,6 +88,11 @@ enum class Stage : std::uint16_t {
   kLogReject,   // instant: segment failed chain validation (arg = seq)
   kReplay,      // span: failover deterministic replay (arg = epoch)
   kLogBytes,    // counter: event-log wire bytes per shipped segment
+  // N-way quorum replication (DESIGN.md §16); appended for id stability.
+  // Emitted only when replicas > 1, so two-node traces stay byte-identical.
+  kReplicaAck,  // instant: one replica's epoch ack arrived (arg = epoch)
+  kPromote,     // instant: arbiter elected a failover winner (arg = index)
+  kResilver,    // span: full-state catch-up to a survivor (arg = index)
   kCount,
 };
 
@@ -159,6 +164,9 @@ inline const char* stage_name(Stage s) {
     case Stage::kLogReject: return "log-reject";
     case Stage::kReplay: return "replay";
     case Stage::kLogBytes: return "log-bytes";
+    case Stage::kReplicaAck: return "replica-ack";
+    case Stage::kPromote: return "promote";
+    case Stage::kResilver: return "resilver";
     case Stage::kCount: break;
   }
   return "?";

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -223,6 +225,28 @@ TEST(LintCli, WholeFixtureDirIsStable) {
   EXPECT_EQ(r.output.substr(0, r.output.find("\"suppressed\"")).find("/neg_"),
             std::string::npos)
       << r.output;
+}
+
+// src/topo (DESIGN.md §16) is inside the concurrency-owner rule's scope:
+// replication plans and fault-domain placement must stay pure
+// simulation-deterministic bookkeeping, so a raw primitive there is a
+// finding, while the owning modules (src/harness etc.) stay exempt.
+TEST(LintCli, TopoModuleIsInConcurrencyOwnerScope) {
+  namespace fs = std::filesystem;
+  fs::path tmp = fs::path(::testing::TempDir()) / "lint_topo_scope";
+  fs::create_directories(tmp / "src/topo");
+  fs::create_directories(tmp / "src/harness");
+  std::ofstream(tmp / "src/topo/probe.cpp") << "#include <mutex>\n"
+                                               "std::mutex topo_m;\n";
+  std::ofstream(tmp / "src/harness/probe.cpp") << "#include <mutex>\n"
+                                                  "std::mutex harness_m;\n";
+  LintRun r = run_lint("--json --root " + tmp.string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  ASSERT_EQ(r.findings.size(), 1u) << r.output;
+  EXPECT_EQ(r.findings[0].first, "concurrency-owner");
+  EXPECT_NE(r.output.find("src/topo/probe.cpp"), std::string::npos)
+      << r.output;
+  fs::remove_all(tmp);
 }
 
 }  // namespace

@@ -1,0 +1,306 @@
+// N-way quorum replication (DESIGN.md §16): the QuorumCommitChecker's
+// K-of-N release discipline, the trace oracle's quorum and promotion
+// rules, and the end-to-end behavior of a 3-replica cluster — backup-lag
+// tolerance, single-backup-crash absorption, double failure, correlated
+// rack failure and the promotion-picks-most-caught-up regression. The
+// final tests pin the N = 1 degenerate case to the two-node seed engine.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "check/invariants.hpp"
+#include "check/trace_oracle.hpp"
+#include "harness/experiment.hpp"
+#include "util/assert.hpp"
+
+namespace nlc {
+namespace {
+
+using trace::Event;
+using trace::EventType;
+using trace::Stage;
+using trace::Track;
+
+// ------------------------------------------------- QuorumCommitChecker ----
+
+TEST(QuorumCheckerTest, QuorumAdvanceNeedsKthLargestCursor) {
+  check::QuorumCommitChecker q(3, 2);
+  q.replica_ack(0, 0);
+  // Only one cursor covers epoch 0: declaring a quorum advance is the
+  // release-before-K-acks violation.
+  EXPECT_THROW(q.quorum_advanced(0), InvariantError);
+
+  check::QuorumCommitChecker q2(3, 2);
+  q2.replica_ack(0, 0);
+  q2.replica_ack(2, 0);
+  q2.quorum_advanced(0);
+  q2.replica_ack(0, 1);
+  q2.replica_ack(1, 0);
+  q2.replica_ack(1, 1);
+  q2.quorum_advanced(1);
+  EXPECT_GT(q2.checks(), 0u);
+}
+
+TEST(QuorumCheckerTest, ReplicaCursorsAreMonotone) {
+  check::QuorumCommitChecker q(2, 1);
+  q.replica_ack(0, 3);
+  EXPECT_THROW(q.replica_ack(0, 2), InvariantError);
+}
+
+TEST(QuorumCheckerTest, LogReleaseNeedsKAcksAndNoDuplicates) {
+  check::QuorumCommitChecker q(3, 2);
+  q.replica_log_ack(0, 1);
+  EXPECT_THROW(q.log_release(1), InvariantError);
+
+  check::QuorumCommitChecker q2(3, 2);
+  q2.replica_log_ack(0, 1);
+  EXPECT_THROW(q2.replica_log_ack(0, 1), InvariantError);
+
+  check::QuorumCommitChecker q3(3, 2);
+  q3.replica_log_ack(0, 1);
+  q3.replica_log_ack(2, 1);
+  q3.log_release(1);
+  EXPECT_THROW(q3.log_release(1), InvariantError);  // not released twice
+}
+
+TEST(QuorumCheckerTest, PromotionMustPickMaximalCandidate) {
+  using Candidate = check::QuorumCommitChecker::Candidate;
+  check::QuorumCommitChecker q(3, 2);
+  std::vector<Candidate> cands = {
+      {0, true, 7, 10},
+      {1, true, 9, 4},
+  };
+  // Replica 1 has the higher acked cursor; promoting 0 is the
+  // lost-progress violation.
+  EXPECT_THROW(q.promoted(0, cands), InvariantError);
+
+  check::QuorumCommitChecker q2(3, 2);
+  q2.promoted(1, cands);
+  EXPECT_GT(q2.checks(), 0u);
+}
+
+TEST(QuorumCheckerTest, PromotionWinnerMustCoverQuorumCursor) {
+  using Candidate = check::QuorumCommitChecker::Candidate;
+  check::QuorumCommitChecker q(3, 2);
+  q.replica_ack(0, 5);
+  q.replica_ack(1, 5);
+  q.quorum_advanced(5);  // output for epoch 5 is released
+  // The only survivor stops at epoch 3: promoting it would lose released
+  // output — exactly what quorum K > 1 exists to prevent.
+  std::vector<Candidate> behind = {{2, true, 3, 0}};
+  EXPECT_THROW(q.promoted(2, behind), InvariantError);
+}
+
+// ------------------------------------------------------- trace oracle ----
+
+Event make_event(std::uint64_t seq, Time sim_ns, std::uint64_t arg,
+                 EventType type, Track track, Stage stage) {
+  return Event{seq, sim_ns, /*wall_ns=*/0, arg, type, track, stage};
+}
+
+TEST(QuorumTraceOracleTest, ReleaseNeedsKReplicaAcks) {
+  std::vector<Event> ev;
+  std::uint64_t s = 0;
+  ev.push_back(make_event(s++, 1, 0, EventType::kInstant, Track::kPrimary,
+                          Stage::kAckRecv));
+  ev.push_back(make_event(s++, 1, 0, EventType::kInstant, Track::kPrimary,
+                          Stage::kReplicaAck));
+  ev.push_back(make_event(s++, 2, 0, EventType::kInstant, Track::kPrimary,
+                          Stage::kReplicaAck));
+  ev.push_back(make_event(s++, 3, 0, EventType::kInstant, Track::kPrimary,
+                          Stage::kRelease));
+  check::TraceOrderStats stats = check::audit_trace_ordering(ev, 2);
+  EXPECT_EQ(stats.quorum_release_checks, 1u);
+  EXPECT_EQ(stats.release_checks, 1u);
+
+  // One replica ack is not a quorum of two.
+  std::vector<Event> bad;
+  s = 0;
+  bad.push_back(make_event(s++, 1, 0, EventType::kInstant, Track::kPrimary,
+                           Stage::kAckRecv));
+  bad.push_back(make_event(s++, 1, 0, EventType::kInstant, Track::kPrimary,
+                           Stage::kReplicaAck));
+  bad.push_back(make_event(s++, 2, 0, EventType::kInstant, Track::kPrimary,
+                           Stage::kRelease));
+  EXPECT_THROW(check::audit_trace_ordering(bad, 2), InvariantError);
+}
+
+TEST(QuorumTraceOracleTest, ResilverNeedsPromotionFirst) {
+  std::vector<Event> ev;
+  ev.push_back(make_event(0, 1, 1, EventType::kSpanBegin, Track::kBackup,
+                          Stage::kResilver));
+  EXPECT_THROW(check::audit_trace_ordering(ev, 2), InvariantError);
+
+  ev.clear();
+  ev.push_back(make_event(0, 1, 0, EventType::kInstant, Track::kDetector,
+                          Stage::kPromote));
+  ev.push_back(make_event(1, 2, 1, EventType::kSpanBegin, Track::kBackup,
+                          Stage::kResilver));
+  check::TraceOrderStats stats = check::audit_trace_ordering(ev, 2);
+  EXPECT_EQ(stats.promotion_checks, 1u);
+}
+
+// --------------------------------------------------------- end to end ----
+
+apps::AppSpec fast_spec() {
+  apps::AppSpec s = apps::netecho_spec();
+  s.kv_pages = 256;
+  return s;
+}
+
+harness::RunConfig quorum_config(int replicas, topo::Topology topology) {
+  harness::RunConfig cfg;
+  cfg.spec = fast_spec();
+  cfg.mode = harness::Mode::kNiLiCon;
+  cfg.measure = nlc::seconds(2);
+  cfg.warmup = nlc::milliseconds(200);
+  cfg.nilicon.replicas = replicas;
+  cfg.nilicon.quorum_k = replicas > 1 ? 2 : 0;
+  cfg.nilicon.topology = topology;
+  cfg.nilicon.audit_level = core::AuditLevel::kCommitPoints;
+  cfg.kv_validation = true;
+  cfg.client_connections = 3;
+  return cfg;
+}
+
+TEST(QuorumEndToEndTest, KOfNReleasesAndAudits) {
+  auto r = run_experiment(quorum_config(3, topo::Topology::kStar));
+  EXPECT_GT(r.throughput_rps, 10.0);
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_EQ(r.broken_connections, 0u);
+  ASSERT_TRUE(r.audited);
+  // The quorum mirror saw every advance, and per-replica lag was sampled
+  // for all three replicas.
+  EXPECT_GT(r.audit.quorum_checks, 0u);
+  ASSERT_EQ(r.metrics.replica_ack_lag.size(), 3u);
+  EXPECT_FALSE(r.metrics.quorum_wait_ms.empty());
+  // Star fan-out puts every replica's copy on the wire.
+  EXPECT_GT(r.metrics.wire_bytes_fanout,
+            2 * (r.metrics.bytes_shipped + r.metrics.log_bytes_shipped));
+}
+
+TEST(QuorumEndToEndTest, ChainToleratesTailLag) {
+  // In a chain the tail replica is fed store-and-forward through two hops:
+  // its ack cursor must lag the head's, and K = 2 of 3 must keep releasing
+  // output without waiting for the tail.
+  auto r = run_experiment(quorum_config(3, topo::Topology::kChain));
+  EXPECT_GT(r.throughput_rps, 10.0);
+  EXPECT_EQ(r.kv_errors, 0u);
+  ASSERT_EQ(r.metrics.replica_ack_lag.size(), 3u);
+  double head = r.metrics.replica_ack_lag[0].empty()
+                    ? 0.0
+                    : r.metrics.replica_ack_lag[0].mean();
+  double tail = r.metrics.replica_ack_lag[2].empty()
+                    ? 0.0
+                    : r.metrics.replica_ack_lag[2].mean();
+  EXPECT_GE(tail, head);
+  ASSERT_TRUE(r.audited);
+  EXPECT_GT(r.audit.quorum_checks, 0u);
+}
+
+TEST(QuorumEndToEndTest, SingleBackupCrashIsAbsorbed) {
+  harness::RunConfig cfg = quorum_config(3, topo::Topology::kStar);
+  cfg.measure = nlc::seconds(4);
+  cfg.inject_fault = true;
+  cfg.fault_kind = harness::FaultKind::kBackup;
+  cfg.fault_backup_index = 1;
+  cfg.seed = 11;
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.fault_injected);
+  // The primary is healthy: no failover, no client-visible loss, and the
+  // run keeps serving on the surviving 2-of-3 quorum.
+  EXPECT_FALSE(r.recovered);
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_EQ(r.broken_connections, 0u);
+  EXPECT_GT(r.requests_after_fault, 0u);
+}
+
+TEST(QuorumEndToEndTest, DoubleFailureStillRecovers) {
+  harness::RunConfig cfg = quorum_config(3, topo::Topology::kStar);
+  cfg.measure = nlc::seconds(4);
+  cfg.inject_fault = true;
+  cfg.fault_kind = harness::FaultKind::kDouble;
+  cfg.fault_backup_index = 1;
+  cfg.seed = 13;
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.fault_injected);
+  ASSERT_TRUE(r.recovered);
+  EXPECT_NE(r.recovery.promoted_replica, 1);  // the dead replica can't win
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_EQ(r.broken_connections, 0u);
+  EXPECT_GT(r.requests_after_fault, 0u);
+}
+
+TEST(QuorumEndToEndTest, RackFailureSurvivedByAntiAffinity) {
+  harness::RunConfig cfg = quorum_config(3, topo::Topology::kStar);
+  cfg.measure = nlc::seconds(4);
+  cfg.inject_fault = true;
+  cfg.fault_kind = harness::FaultKind::kRack;
+  cfg.seed = 17;
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.fault_injected);
+  // The primary's rack also holds one backup (2 racks, 4 hosts): the
+  // election must run among the other rack's survivors.
+  ASSERT_TRUE(r.recovered);
+  EXPECT_EQ(r.kv_errors, 0u);
+  EXPECT_GT(r.requests_after_fault, 0u);
+}
+
+TEST(QuorumEndToEndTest, PromotionPicksMostCaughtUpReplica) {
+  // Chain: replica 0 is fed directly and always holds the highest acked
+  // cursor; the tail trails by the forwarding hops. The arbiter must
+  // promote the head (the auditor's promoted() mirror would throw on any
+  // cursor-losing pick; this pins the concrete expected winner too).
+  harness::RunConfig cfg = quorum_config(3, topo::Topology::kChain);
+  cfg.measure = nlc::seconds(4);
+  cfg.inject_fault = true;
+  cfg.fault_kind = harness::FaultKind::kPrimary;
+  cfg.seed = 19;
+  auto r = run_experiment(cfg);
+  ASSERT_TRUE(r.recovered);
+  EXPECT_EQ(r.recovery.promoted_replica, 0);
+  EXPECT_EQ(r.kv_errors, 0u);
+  // The winner re-silvered the two survivors over the replication link.
+  EXPECT_EQ(r.recovery.replicas_resilvered, 2u);
+  EXPECT_GT(r.recovery.resilver_bytes, 0u);
+}
+
+// ------------------------------------------------ N = 1 degenerate case ----
+
+TEST(QuorumEndToEndTest, SingleReplicaMatchesSeedEngineExactly) {
+  // replicas = 1 + star must take the exact same protocol decisions as the
+  // untouched two-node engine: same simulation event count, same epochs,
+  // same wire bytes, same client-visible results.
+  harness::RunConfig base;
+  base.spec = fast_spec();
+  base.mode = harness::Mode::kNiLiCon;
+  base.measure = nlc::seconds(2);
+  base.warmup = nlc::milliseconds(200);
+  base.kv_validation = true;
+  base.client_connections = 3;
+  base.seed = 23;
+
+  harness::RunConfig explicit_cfg = base;
+  explicit_cfg.nilicon.replicas = 1;
+  explicit_cfg.nilicon.quorum_k = 1;
+  explicit_cfg.nilicon.topology = topo::Topology::kStar;
+
+  auto a = run_experiment(base);
+  auto b = run_experiment(explicit_cfg);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.metrics.epochs_completed, b.metrics.epochs_completed);
+  EXPECT_EQ(a.metrics.bytes_shipped, b.metrics.bytes_shipped);
+  EXPECT_DOUBLE_EQ(a.throughput_rps, b.throughput_rps);
+  // N = 1 books no quorum-only metrics, and the fan-out counter is the
+  // same wire both ways. It exceeds bytes_shipped + log_bytes_shipped only
+  // by the initial full-sync image and any shipped-but-unacked tail epoch,
+  // both of which the per-epoch seed metrics deliberately exclude.
+  EXPECT_TRUE(b.metrics.replica_ack_lag.empty());
+  EXPECT_TRUE(b.metrics.quorum_wait_ms.empty());
+  EXPECT_EQ(a.metrics.wire_bytes_fanout, b.metrics.wire_bytes_fanout);
+  EXPECT_GE(b.metrics.wire_bytes_fanout,
+            b.metrics.bytes_shipped + b.metrics.log_bytes_shipped);
+}
+
+}  // namespace
+}  // namespace nlc

@@ -7,7 +7,9 @@
 // Each seed runs one app from the catalog (rotating through it) under full
 // NiLiCon protection with the invariant auditor attached, a fail-stop crash
 // injected at a seed-randomized epoch, and the delta codec exercised on odd
-// seeds. A run passes when the experiment completes without the auditor
+// seeds. Every third seed additionally runs N=3/K=2 quorum replication
+// with a rotating fault scenario (primary over a chain; backup-crash,
+// correlated rack failure and double failure over a star). A run passes when the experiment completes without the auditor
 // throwing InvariantError and the failover recovered; the sweep exits
 // non-zero on the first violation, printing the offending seed so the run
 // can be replayed under a debugger:
@@ -37,6 +39,35 @@ void usage() {
       "  --level L        commit|continuous audit level (default continuous)\n"
       "  --measure-ms N   measurement window per run (default 1200)\n"
       "  --no-fault       skip crash injection (protocol-only audit)\n");
+}
+
+/// N-way sweep policy (DESIGN.md §16): every third seed runs N=3/K=2 with
+/// a rotating fault scenario — primary crash through the chain topology,
+/// then (star) a single backup crash the quorum must absorb, a correlated
+/// rack failure, and a backup-then-primary double failure. Chain is kept
+/// to the primary-crash kind on purpose: killing a mid-chain replica
+/// starves everything downstream of it, so a crashed-backup scenario on a
+/// chain would (correctly) stall the quorum instead of testing release.
+struct QuorumPolicy {
+  bool on = false;
+  harness::FaultKind kind = harness::FaultKind::kPrimary;
+  topo::Topology topology = topo::Topology::kStar;
+};
+
+QuorumPolicy quorum_policy(std::uint64_t s) {
+  QuorumPolicy p;
+  if (s % 3 != 2) return p;
+  p.on = true;
+  switch ((s / 3) % 4) {
+    case 0:
+      p.kind = harness::FaultKind::kPrimary;
+      p.topology = topo::Topology::kChain;
+      break;
+    case 1: p.kind = harness::FaultKind::kBackup; break;
+    case 2: p.kind = harness::FaultKind::kRack; break;
+    case 3: p.kind = harness::FaultKind::kDouble; break;
+  }
+  return p;
 }
 
 }  // namespace
@@ -121,6 +152,16 @@ int main(int argc, char** argv) {
         }
         cfg.nilicon.seed = s;
         cfg.nilicon.audit_level = level;
+        // A third of the sweep runs N-way quorum replication so the
+        // quorum mirrors, the promotion arbiter and the re-silver path
+        // see the same seed/workload rotation as the two-node engine.
+        QuorumPolicy qp = quorum_policy(s);
+        if (qp.on) {
+          cfg.nilicon.replicas = 3;
+          cfg.nilicon.quorum_k = 2;
+          cfg.nilicon.topology = qp.topology;
+          cfg.fault_kind = qp.kind;
+        }
         cfg.seed = s;
         cfg.measure = measure;
         cfg.warmup = nlc::milliseconds(300);
@@ -167,17 +208,43 @@ int main(int argc, char** argv) {
       return 1;
     }
     harness::RunResult& r = out.r;
-    if (fault && !r.recovered) {
+    QuorumPolicy qp = quorum_policy(s);
+    // Per-kind failover expectation: a lone backup crash must be absorbed
+    // by the quorum without promoting anyone; every other kind kills the
+    // primary and must recover.
+    bool expect_failover =
+        !(qp.on && qp.kind == harness::FaultKind::kBackup);
+    if (fault && expect_failover && !r.recovered) {
       std::fprintf(stderr, "ERROR seed=%llu workload=%s: fault injected but "
                    "no failover happened\n",
                    static_cast<unsigned long long>(s), spec.name.c_str());
       return 1;
     }
+    if (fault && !expect_failover && r.recovered) {
+      std::fprintf(stderr, "ERROR seed=%llu workload=%s: backup crash must "
+                   "not trigger a failover\n",
+                   static_cast<unsigned long long>(s), spec.name.c_str());
+      return 1;
+    }
+    if (fault && qp.on && r.kv_errors != 0) {
+      std::fprintf(stderr, "ERROR seed=%llu workload=%s: %llu KV errors — "
+                   "client-visible output loss under N=3/K=2\n",
+                   static_cast<unsigned long long>(s), spec.name.c_str(),
+                   static_cast<unsigned long long>(r.kv_errors));
+      return 1;
+    }
     NLC_CHECK(r.audited);
+    char rep[96] = "";
+    if (qp.on) {
+      std::snprintf(rep, sizeof rep, " rep=N3K2/%s/%s quorum=%llu",
+                    topo::topology_name(qp.topology),
+                    harness::fault_kind_name(qp.kind),
+                    static_cast<unsigned long long>(r.audit.quorum_checks));
+    }
     std::printf(
         "seed=%llu workload=%-13s mode=%s/%-8s epochs=%-4llu occ=%llu "
         "epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu "
-        "replay=%llu sweeps=%llu%s\n",
+        "replay=%llu sweeps=%llu%s%s\n",
         static_cast<unsigned long long>(s), spec.name.c_str(),
         s % 4 >= 2 ? "replay" : "epoch ",
         s % 2 == 1 ? "adaptive" : "fixed",
@@ -189,8 +256,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.audit.payload_verifications),
         static_cast<unsigned long long>(r.audit.restore_equivalence_checks),
         static_cast<unsigned long long>(r.audit.replay_equivalence_checks),
-        static_cast<unsigned long long>(r.audit.sweeps),
-        fault ? (r.recovered ? " [failover ok]" : "") : "");
+        static_cast<unsigned long long>(r.audit.sweeps), rep,
+        fault ? (r.recovered ? " [failover ok]"
+                             : (!expect_failover ? " [absorbed]" : ""))
+              : "");
     std::fflush(stdout);
     total.output_commit_checks += r.audit.output_commit_checks;
     total.epoch_commit_checks += r.audit.epoch_commit_checks;
@@ -200,6 +269,7 @@ int main(int argc, char** argv) {
     total.delta_replay_checks += r.audit.delta_replay_checks;
     total.restore_equivalence_checks += r.audit.restore_equivalence_checks;
     total.replay_equivalence_checks += r.audit.replay_equivalence_checks;
+    total.quorum_checks += r.audit.quorum_checks;
     total.sweeps += r.audit.sweeps;
     ++runs_passed;
   }
@@ -212,7 +282,7 @@ int main(int argc, char** argv) {
   std::printf(
       "PASS %llu/%llu runs, %llu invariant checks "
       "(occ=%llu epoch=%llu store=%llu delta=%llu cow=%llu restore=%llu "
-      "replay=%llu), 0 violations\n",
+      "replay=%llu quorum=%llu), 0 violations\n",
       static_cast<unsigned long long>(runs_passed),
       static_cast<unsigned long long>(seeds),
       static_cast<unsigned long long>(total.total()),
@@ -222,6 +292,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total.delta_replay_checks),
       static_cast<unsigned long long>(total.payload_verifications),
       static_cast<unsigned long long>(total.restore_equivalence_checks),
-      static_cast<unsigned long long>(total.replay_equivalence_checks));
+      static_cast<unsigned long long>(total.replay_equivalence_checks),
+      static_cast<unsigned long long>(total.quorum_checks));
   return 0;
 }

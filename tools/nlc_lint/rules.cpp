@@ -577,6 +577,10 @@ void rule_replay_wallclock(RuleCtx& c) {
 // Ownership/concurrency rules.
 
 void rule_concurrency_owner(RuleCtx& c) {
+  // Exempt ONLY the concurrency-owning modules. Everything else — the
+  // simulation-deterministic core and explicitly src/topo (replication
+  // plans and fault-domain placement must stay pure bookkeeping, see
+  // DESIGN.md §16) — is in scope.
   if (starts_with(c.f.path, "src/util/") ||
       starts_with(c.f.path, "src/trace/") ||
       starts_with(c.f.path, "src/harness/")) {

@@ -52,7 +52,14 @@ void usage() {
       "  --clients N        override client connections\n"
       "  --pipeline N       override per-connection request pipeline\n"
       "  --seed N           RNG seed (default 1)\n"
+      "  --replicas N       backup replica count (default 1; N>1 enables\n"
+      "                     quorum output commit, DESIGN.md §16)\n"
+      "  --quorum K         replica acks required to release output\n"
+      "                     (default 0 = majority of N)\n"
+      "  --topology T       replication wiring: star|chain (default star)\n"
       "  --fault            inject a fail-stop fault mid-run\n"
+      "  --fault-kind F     what fails: primary|backup|rack|double\n"
+      "                     (default primary; others need --replicas > 1)\n"
       "  --audit L          attach the invariant auditor: off|commit|\n"
       "                     continuous (default off; violations exit 1)\n"
       "  --kv               validating KV payloads\n"
@@ -130,8 +137,27 @@ int main(int argc, char** argv) {
       cfg.client_pipeline = std::atoi(next());
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--replicas") {
+      cfg.nilicon.replicas = std::atoi(next());
+    } else if (arg == "--quorum") {
+      cfg.nilicon.quorum_k = std::atoi(next());
+    } else if (arg == "--topology") {
+      if (!topo::parse_topology(next(), &cfg.nilicon.topology)) {
+        std::fprintf(stderr, "unknown topology\n");
+        return 2;
+      }
     } else if (arg == "--fault") {
       cfg.inject_fault = true;
+    } else if (arg == "--fault-kind") {
+      std::string f = next();
+      if (f == "primary") cfg.fault_kind = harness::FaultKind::kPrimary;
+      else if (f == "backup") cfg.fault_kind = harness::FaultKind::kBackup;
+      else if (f == "rack") cfg.fault_kind = harness::FaultKind::kRack;
+      else if (f == "double") cfg.fault_kind = harness::FaultKind::kDouble;
+      else {
+        std::fprintf(stderr, "unknown fault kind\n");
+        return 2;
+      }
     } else if (arg == "--audit") {
       std::string l = next();
       if (l == "off") cfg.nilicon.audit_level = core::AuditLevel::kOff;
@@ -227,6 +253,28 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(r.metrics.ctl_shrink_steps),
                   h.c_str());
     }
+    if (cfg.mode == harness::Mode::kNiLiCon && cfg.nilicon.replicas > 1) {
+      std::string lags;
+      for (std::size_t i = 0; i < r.metrics.replica_ack_lag.size(); ++i) {
+        const auto& s = r.metrics.replica_ack_lag[i];
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s%zu:%.2f", lags.empty() ? "" : " ",
+                      i, s.empty() ? 0.0 : s.mean());
+        lags += buf;
+      }
+      std::printf("replication: N=%d K=%d topology=%s, quorum wait "
+                  "%.3f/%.3fms (mean/p99), ack lag {%s} epochs, "
+                  "fan-out %llu wire bytes\n",
+                  cfg.nilicon.replicas, cfg.nilicon.resolved_quorum(),
+                  topo::topology_name(cfg.nilicon.topology),
+                  r.metrics.quorum_wait_ms.empty()
+                      ? 0.0 : r.metrics.quorum_wait_ms.mean(),
+                  r.metrics.quorum_wait_ms.empty()
+                      ? 0.0 : r.metrics.quorum_wait_ms.percentile(99),
+                  lags.c_str(),
+                  static_cast<unsigned long long>(
+                      r.metrics.wire_bytes_fanout));
+    }
     if (cfg.nilicon.commit_mode == core::CommitMode::kReplay) {
       std::printf("event log: %llu entries in %llu segments, %llu bytes, "
                   "release latency %.3fms (epoch commit %.2fms)\n",
@@ -247,14 +295,24 @@ int main(int argc, char** argv) {
     }
   }
   if (cfg.inject_fault) {
-    std::printf("fault: recovered=%s interruption=%.0fms kv_errors=%llu "
-                "broken=%llu disk_errors=%llu\n",
+    std::printf("fault: kind=%s recovered=%s interruption=%.0fms "
+                "kv_errors=%llu broken=%llu disk_errors=%llu\n",
+                harness::fault_kind_name(cfg.fault_kind),
                 r.recovered ? "yes" : "NO", to_millis(r.interruption),
                 static_cast<unsigned long long>(r.kv_errors),
                 static_cast<unsigned long long>(r.broken_connections),
                 static_cast<unsigned long long>(
                     r.diskstress_errors +
                     r.diskstress_post_failover_mismatches));
+    if (r.recovered && cfg.nilicon.replicas > 1) {
+      std::printf("failover: promoted replica %d, re-silvered %llu "
+                  "survivors (%llu bytes, %.1fms)\n",
+                  r.recovery.promoted_replica,
+                  static_cast<unsigned long long>(
+                      r.recovery.replicas_resilvered),
+                  static_cast<unsigned long long>(r.recovery.resilver_bytes),
+                  to_millis(r.recovery.resilver_time));
+    }
   }
 
   if (r.audited) {
@@ -295,7 +353,12 @@ int main(int argc, char** argv) {
       r.recovered ? "true" : "false",
       static_cast<unsigned long long>(r.kv_errors),
       static_cast<unsigned long long>(r.broken_connections));
+  // A backup crash must NOT fail over (the primary is healthy; the quorum
+  // absorbs the loss); every other fault kind must.
+  bool failover_ok = cfg.fault_kind == harness::FaultKind::kBackup
+                         ? !r.recovered
+                         : r.recovered;
   bool ok = !cfg.inject_fault ||
-            (r.recovered && r.kv_errors == 0 && r.broken_connections == 0);
+            (failover_ok && r.kv_errors == 0 && r.broken_connections == 0);
   return ok ? 0 : 1;
 }
